@@ -1,0 +1,88 @@
+"""E10 — ablation: what the ceiling constraints (7)–(8) buy.
+
+DESIGN.md calls the ceiling constraints the key strengthening; this bench
+quantifies them: solve LP (1) with and without (7)–(8) on the gap families
+and the random suite, and compare both the LP value and the value of the
+rounded solution built on each relaxation.
+
+Shape to match: without ceiling constraints the LP drops toward the
+natural-LP value on the gap families (gap → 2); with them, the LP is
+strictly stronger and the rounding certifiably lands within 9/5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.tables import print_table
+from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.core.rounding import round_solution
+from repro.core.transform import push_down
+from repro.instances.families import natural_gap, section5_gap
+from repro.instances.generators import random_laminar
+from repro.lp.nested_lp import solve_nested_lp
+from repro.tree.canonical import canonicalize
+
+
+def _rounded_total(canon, ceiling: bool) -> tuple[float, float]:
+    sol = solve_nested_lp(canon, ceiling=ceiling)
+    tr = push_down(canon.forest, sol.x, sol.y)
+    rr = round_solution(canon.forest, tr.x, tr.topmost)
+    return sol.value, float(rr.x_tilde.sum())
+
+
+@pytest.fixture(scope="module")
+def e10_table():
+    instances = [natural_gap(3), natural_gap(6), section5_gap(3), section5_gap(4)]
+    for seed in range(3):
+        instances.append(
+            random_laminar(12, 3, horizon=26, seed=1010 + seed, unit_fraction=0.5)
+        )
+    rows = []
+    for inst in instances:
+        canon = canonicalize(inst)
+        lp_with, rounded_with = _rounded_total(canon, ceiling=True)
+        lp_without, rounded_without = _rounded_total(canon, ceiling=False)
+        try:
+            opt = solve_exact(inst, node_budget=400_000).optimum
+        except BudgetExceeded:
+            opt = None
+        rows.append(
+            [
+                inst.name[:28],
+                lp_without,
+                lp_with,
+                opt,
+                rounded_without,
+                rounded_with,
+            ]
+        )
+    return rows
+
+
+def test_e10_ablation_table(e10_table, benchmark):
+    print_table(
+        [
+            "instance",
+            "LP w/o ceiling",
+            "LP(1)",
+            "OPT",
+            "rounded w/o",
+            "rounded with",
+        ],
+        e10_table,
+        title="E10: ablation of ceiling constraints (7)-(8)",
+    )
+    for row in e10_table:
+        _, lp_without, lp_with, opt, _, rounded_with = row
+        assert lp_without <= lp_with + 1e-6
+        if opt is not None:
+            assert lp_with <= opt + 1e-6
+            # The rounding on the strengthened LP keeps the 9/5 certificate.
+            assert rounded_with <= 1.8 * lp_with + 1e-6
+    # The gap families must show a strict improvement.
+    gap_rows = [r for r in e10_table if "natural_gap" in r[0]]
+    assert all(r[2] >= r[1] + 0.4 for r in gap_rows)
+    canon = canonicalize(section5_gap(4))
+    run_once(benchmark, _rounded_total, canon, True)

@@ -1,0 +1,91 @@
+"""E12 — online policies: lazy's energy saving and the impossibility rates.
+
+No paper table (the survey pointer in related work motivates this
+extension).  Two measurements:
+
+* on *shared-release* instances (batch workloads — where both policies
+  are provably safe): lazy's active time vs eager's and vs the offline
+  optimum (empirical competitive ratio);
+* on scattered-release instances: how often each policy hits the
+  bounded-capacity impossibility documented in ``repro.online.policies``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.tables import print_table
+from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.instances.generators import random_laminar
+from repro.online import EagerActivation, LazyActivation, run_online
+from repro.util.errors import InfeasibleInstanceError
+
+
+def _shared_release(inst):
+    return inst.with_jobs([j.with_window(0, j.deadline) for j in inst.jobs])
+
+
+@pytest.fixture(scope="module")
+def e12_shared_table():
+    rows = []
+    for seed in range(8):
+        inst = _shared_release(
+            random_laminar(9, 3, horizon=20, seed=300 + seed, unit_fraction=0.4)
+        )
+        lazy = run_online(inst, LazyActivation()).active_time
+        eager = run_online(inst, EagerActivation()).active_time
+        try:
+            opt = solve_exact(inst, node_budget=400_000).optimum
+        except BudgetExceeded:
+            opt = None
+        rows.append(
+            [
+                f"seed={300 + seed}",
+                inst.n,
+                opt,
+                lazy,
+                eager,
+                lazy / opt if opt else None,
+                eager / opt if opt else None,
+            ]
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def e12_failure_rates():
+    trials = 30
+    fails = {"lazy": 0, "eager": 0}
+    for seed in range(trials):
+        inst = random_laminar(8, 2, horizon=18, seed=seed)
+        for name, policy in (("lazy", LazyActivation()), ("eager", EagerActivation())):
+            try:
+                run_online(inst, policy)
+            except InfeasibleInstanceError:
+                fails[name] += 1
+    return trials, fails
+
+
+def test_e12_online_table(e12_shared_table, e12_failure_rates, benchmark):
+    print_table(
+        ["instance", "n", "OPT", "lazy", "eager", "lazy/OPT", "eager/OPT"],
+        e12_shared_table,
+        title="E12a: online policies on shared-release (batch) instances",
+    )
+    trials, fails = e12_failure_rates
+    print_table(
+        ["policy", "trials", "infeasibility failures", "rate"],
+        [
+            ["lazy", trials, fails["lazy"], fails["lazy"] / trials],
+            ["eager", trials, fails["eager"], fails["eager"] / trials],
+        ],
+        title="E12b: bounded-capacity impossibility on scattered releases",
+    )
+    for row in e12_shared_table:
+        _, _, opt, lazy, eager, r_lazy, r_eager = row
+        assert lazy <= eager
+        if r_lazy is not None:
+            assert 1.0 - 1e-9 <= r_lazy <= 3.0
+    inst = _shared_release(random_laminar(9, 3, horizon=20, seed=301))
+    run_once(benchmark, run_online, inst, LazyActivation())

@@ -1,0 +1,79 @@
+"""E13 — busy-time (related work): first-fit-decreasing vs exact and bounds.
+
+Paper (related work, [5]/[8]): the busy-time problem — non-preemptive
+interval jobs on a pool of capacity-g machines, minimize total powered
+time — is the harder sibling of active time.  We measure the classic
+longest-first best-fit greedy against the exact optimum (tiny instances)
+and the standard ``max(span, load)`` lower bound (larger ones).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.tables import print_table
+from repro.busytime import (
+    BusyTimeInstance,
+    exact_busy_time,
+    first_fit_decreasing,
+)
+
+
+def _random_instance(seed: int, n: int, g: int, horizon: int = 20):
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(n):
+        a = rng.randrange(horizon - 1)
+        b = rng.randint(a + 1, min(horizon, a + 7))
+        pairs.append((a, b))
+    return BusyTimeInstance.from_pairs(pairs, g, name=f"bt(n={n},g={g},s={seed})")
+
+
+@pytest.fixture(scope="module")
+def e13_table():
+    rows = []
+    for seed in range(6):
+        inst = _random_instance(seed, n=7, g=2)
+        greedy = first_fit_decreasing(inst)
+        opt = exact_busy_time(inst)
+        rows.append(
+            [
+                inst.name,
+                inst.n,
+                inst.g,
+                f"{inst.lower_bound():.1f}",
+                opt,
+                greedy.busy_time,
+                greedy.busy_time / opt,
+            ]
+        )
+    for seed in range(4):
+        inst = _random_instance(100 + seed, n=30, g=3, horizon=40)
+        greedy = first_fit_decreasing(inst)
+        rows.append(
+            [
+                inst.name,
+                inst.n,
+                inst.g,
+                f"{inst.lower_bound():.1f}",
+                None,
+                greedy.busy_time,
+                greedy.busy_time / inst.lower_bound(),
+            ]
+        )
+    return rows
+
+
+def test_e13_busytime_table(e13_table, benchmark):
+    print_table(
+        ["instance", "n", "g", "LB", "OPT", "greedy", "ratio (vs OPT or LB)"],
+        e13_table,
+        title="E13: busy-time — longest-first best-fit greedy",
+    )
+    for row in e13_table:
+        assert row[6] <= 4.0 + 1e-9, "cited constant factor exceeded"
+    inst = _random_instance(7, n=30, g=3, horizon=40)
+    run_once(benchmark, first_fit_decreasing, inst)

@@ -1,0 +1,87 @@
+"""E1 — Theorem 4.15: the algorithm is a 9/5-approximation.
+
+Paper claim: the rounded solution is feasible and uses at most 9/5 times
+the optimal number of active slots on every nested instance.
+
+Reproduction: sweep random laminar instances (several sizes and
+capacities), compare the algorithm's active time against the exact optimum
+and the LP lower bound, and print the ratio table.  The *shape* to match:
+every ratio ≤ 1.8, typically far below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.tables import print_table
+from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.core.algorithm import solve_nested
+from repro.core.rounding import APPROX_FACTOR
+from repro.instances.generators import random_laminar
+
+_CONFIGS = [
+    (6, 2, 14),
+    (10, 2, 20),
+    (10, 4, 20),
+    (16, 3, 30),
+    (24, 3, 40),
+    (24, 6, 40),
+    (40, 4, 70),
+]
+_SEEDS = range(5)
+
+
+@pytest.fixture(scope="module")
+def e1_table():
+    rows = []
+    overall_max = 0.0
+    for n, g, horizon in _CONFIGS:
+        ratios_opt, ratios_lp, solved = [], [], 0
+        for seed in _SEEDS:
+            inst = random_laminar(
+                n, g, horizon=horizon, seed=1000 * n + seed, unit_fraction=0.4
+            )
+            result = solve_nested(inst)
+            assert result.schedule.is_valid and result.repairs == 0
+            ratios_lp.append(result.active_time / max(result.lp_value, 1e-9))
+            try:
+                opt = solve_exact(inst, node_budget=400_000).optimum
+                ratios_opt.append(result.active_time / max(opt, 1))
+                solved += 1
+            except BudgetExceeded:
+                pass
+        max_opt = max(ratios_opt) if ratios_opt else None
+        if max_opt:
+            overall_max = max(overall_max, max_opt)
+        rows.append(
+            [
+                n,
+                g,
+                len(list(_SEEDS)),
+                solved,
+                max_opt,
+                sum(ratios_opt) / len(ratios_opt) if ratios_opt else None,
+                max(ratios_lp),
+            ]
+        )
+    return rows, overall_max
+
+
+def test_e1_ratio_table(e1_table, benchmark):
+    rows, overall_max = e1_table
+    print_table(
+        ["n", "g", "trials", "exact solved", "max ALG/OPT", "mean ALG/OPT", "max ALG/LP"],
+        rows,
+        title="E1: 9/5-approximation on random laminar instances "
+        f"(bound {APPROX_FACTOR})",
+    )
+    assert overall_max <= APPROX_FACTOR + 1e-9
+    inst = random_laminar(16, 3, horizon=30, seed=7, unit_fraction=0.4)
+    run_once(benchmark, solve_nested, inst)
+
+
+def test_e1_every_lp_ratio_within_bound(e1_table):
+    rows, _ = e1_table
+    for row in rows:
+        assert row[-1] <= APPROX_FACTOR + 1e-9

@@ -1,0 +1,63 @@
+"""E2 — Lemma 3.3: the rounding never exceeds (9/5)·LP.
+
+Paper claim: ``x̃([m]) ≤ (9/5)·x([m])`` for the Algorithm 1 output, on
+every instance (this is the certified part of the guarantee, independent
+of OPT).
+
+Reproduction: larger random sweep than E1 (no exact solves needed); print
+the distribution of ``Σx̃ / Σx`` and assert the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.tables import print_table
+from repro.core.rounding import APPROX_FACTOR, round_solution
+from repro.core.transform import push_down
+from repro.instances.generators import random_laminar
+from repro.lp.nested_lp import solve_nested_lp
+from repro.tree.canonical import canonicalize
+
+_CONFIGS = [(12, 2, 26), (20, 3, 40), (30, 4, 55), (48, 5, 90), (64, 6, 120)]
+
+
+def _round_ratio(inst):
+    canon = canonicalize(inst)
+    sol = solve_nested_lp(canon)
+    tr = push_down(canon.forest, sol.x, sol.y)
+    rr = round_solution(canon.forest, tr.x, tr.topmost)
+    lp_total = float(tr.x.sum())
+    return float(rr.x_tilde.sum()) / max(lp_total, 1e-9), rr.budget_ok
+
+
+@pytest.fixture(scope="module")
+def e2_table():
+    rows = []
+    worst = 0.0
+    for n, g, horizon in _CONFIGS:
+        ratios = []
+        for seed in range(6):
+            inst = random_laminar(
+                n, g, horizon=horizon, seed=7000 + 13 * seed + n,
+                unit_fraction=0.5,
+            )
+            ratio, ok = _round_ratio(inst)
+            assert ok
+            ratios.append(ratio)
+        worst = max(worst, max(ratios))
+        rows.append([n, g, min(ratios), sum(ratios) / len(ratios), max(ratios)])
+    return rows, worst
+
+
+def test_e2_budget_table(e2_table, benchmark):
+    rows, worst = e2_table
+    print_table(
+        ["n", "g", "min Σx̃/Σx", "mean Σx̃/Σx", "max Σx̃/Σx"],
+        rows,
+        title=f"E2: Lemma 3.3 rounding budget (bound {APPROX_FACTOR})",
+    )
+    assert worst <= APPROX_FACTOR + 1e-9
+    inst = random_laminar(30, 4, horizon=55, seed=1, unit_fraction=0.5)
+    run_once(benchmark, _round_ratio, inst)

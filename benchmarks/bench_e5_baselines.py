@@ -1,0 +1,103 @@
+"""E5 — baseline guarantees: minimal feasible = 3-approx, ordered = 2-approx.
+
+Paper claims (problem-history section): any minimal feasible solution is a
+3-approximation [3]; Kumar–Khuller's ordered greedy is a 2-approximation
+with tight examples at 2 - 1/g [9].
+
+Reproduction: run every deactivation order over the random suite plus the
+adversarial families; report max observed ratios per algorithm.  Shape to
+match: arbitrary-order ≤ 3, ordered ≤ 2, the 9/5 algorithm ≤ 1.8 and
+typically the best of the three.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.tables import print_table
+from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.baselines.kumar_khuller import kk_tight_family
+from repro.baselines.minimal_feasible import minimal_feasible_schedule
+from repro.core.algorithm import solve_nested
+from repro.instances.families import greedy_trap, section5_gap, two_level
+
+_ALGOS = {
+    "greedy given-order (3-approx bound)": lambda inst: minimal_feasible_schedule(
+        inst, "given"
+    ).active_time,
+    "greedy right-to-left (KK-style)": lambda inst: minimal_feasible_schedule(
+        inst, "right_to_left"
+    ).active_time,
+    "greedy densest-first": lambda inst: minimal_feasible_schedule(
+        inst, "densest_first"
+    ).active_time,
+    "nested 9/5 (this paper)": lambda inst: solve_nested(inst).active_time,
+}
+
+
+def _battery(ratio_suite):
+    from repro.instances.generators import random_laminar
+    import random
+
+    extra = [
+        kk_tight_family(2),
+        kk_tight_family(3),
+        greedy_trap(3),
+        greedy_trap(4),
+        section5_gap(3),
+        section5_gap(4),
+        two_level(3, 3),
+    ]
+    # Adversarial seeds found by random search (see DESIGN.md): instances
+    # where greedy deactivation is measurably suboptimal (up to 1.36x).
+    for seed in (160, 202, 57, 91):
+        rng = random.Random(seed)
+        extra.append(
+            random_laminar(
+                rng.randint(5, 14),
+                rng.randint(1, 4),
+                horizon=rng.randint(10, 30),
+                seed=seed,
+                unit_fraction=rng.random(),
+            )
+        )
+    return list(ratio_suite) + extra
+
+
+@pytest.fixture(scope="module")
+def e5_table(ratio_suite):
+    instances = _battery(ratio_suite)
+    stats = {name: [] for name in _ALGOS}
+    solved = 0
+    for inst in instances:
+        try:
+            opt = solve_exact(inst, node_budget=400_000).optimum
+        except BudgetExceeded:
+            continue
+        solved += 1
+        for name, algo in _ALGOS.items():
+            stats[name].append(algo(inst) / max(opt, 1))
+    rows = [
+        [name, len(vals), min(vals), sum(vals) / len(vals), max(vals)]
+        for name, vals in stats.items()
+    ]
+    return rows, solved
+
+
+def test_e5_baseline_table(e5_table, benchmark):
+    rows, solved = e5_table
+    print_table(
+        ["algorithm", "instances", "min ratio", "mean ratio", "max ratio"],
+        rows,
+        title=f"E5: baseline approximation ratios over {solved} instances",
+    )
+    by_name = {r[0]: r for r in rows}
+    assert by_name["greedy given-order (3-approx bound)"][4] <= 3.0
+    assert by_name["greedy right-to-left (KK-style)"][4] <= 2.0
+    assert by_name["nested 9/5 (this paper)"][4] <= 1.8
+    inst = section5_gap(4)
+    run_once(
+        benchmark,
+        lambda: minimal_feasible_schedule(inst, "right_to_left").active_time,
+    )

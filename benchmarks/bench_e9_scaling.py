@@ -1,0 +1,77 @@
+"""E9 — engineering scaling: wall time of every pipeline stage.
+
+Not a paper table (the brief announcement has no performance section);
+this is the benchmark a downstream user needs: how tree construction,
+flow feasibility, LP solving and the end-to-end algorithm scale with n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.minimal_feasible import minimal_feasible_schedule
+from repro.core.algorithm import solve_nested
+from repro.flow.feasibility import all_slots_feasible
+from repro.instances.generators import random_laminar
+from repro.lp.nested_lp import solve_nested_lp
+from repro.tree.canonical import canonicalize
+
+
+def _instance(n):
+    return random_laminar(
+        n, 4, horizon=3 * n, seed=99, unit_fraction=0.5, n_windows=n // 2
+    )
+
+
+@pytest.fixture(scope="module")
+def inst_small():
+    return _instance(30)
+
+
+@pytest.fixture(scope="module")
+def inst_medium():
+    return _instance(80)
+
+
+@pytest.fixture(scope="module")
+def inst_large():
+    return _instance(200)
+
+
+class TestTreeBuild:
+    def test_canonicalize_small(self, benchmark, inst_small):
+        benchmark(canonicalize, inst_small)
+
+    def test_canonicalize_large(self, benchmark, inst_large):
+        benchmark(canonicalize, inst_large)
+
+
+class TestFlow:
+    def test_feasibility_small(self, benchmark, inst_small):
+        benchmark(all_slots_feasible, inst_small)
+
+    def test_feasibility_large(self, benchmark, inst_large):
+        benchmark(all_slots_feasible, inst_large)
+
+
+class TestLP:
+    def test_lp_small(self, benchmark, inst_small):
+        canon = canonicalize(inst_small)
+        benchmark(solve_nested_lp, canon)
+
+    def test_lp_medium(self, benchmark, inst_medium):
+        canon = canonicalize(inst_medium)
+        benchmark(solve_nested_lp, canon)
+
+
+class TestEndToEnd:
+    def test_solve_nested_small(self, benchmark, inst_small):
+        result = benchmark(solve_nested, inst_small)
+        assert result.schedule.is_valid
+
+    def test_solve_nested_medium(self, benchmark, inst_medium):
+        result = benchmark(solve_nested, inst_medium)
+        assert result.schedule.is_valid
+
+    def test_greedy_small(self, benchmark, inst_small):
+        benchmark(minimal_feasible_schedule, inst_small, "right_to_left")

@@ -1,0 +1,24 @@
+"""Shared benchmark helpers.
+
+Every experiment bench computes its reproduction table once (cached at
+module scope), prints it (visible with ``pytest benchmarks/ -s`` and in the
+captured-output section otherwise), and feeds one representative kernel to
+pytest-benchmark for timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive callable with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def ratio_suite():
+    """The instance battery used by the approximation experiments."""
+    from repro.instances.generators import laminar_suite
+
+    return laminar_suite(seed=2022, sizes=(6, 10, 16))

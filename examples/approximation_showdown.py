@@ -1,0 +1,68 @@
+"""Algorithm showdown: the 9/5 algorithm vs both greedy baselines vs OPT.
+
+Sweeps a battery of random laminar instances and the adversarial families,
+measuring every algorithm against the exact optimum, and prints the kind of
+comparison table an evaluation section would carry.
+
+Run:  python examples/approximation_showdown.py
+"""
+
+from repro.analysis.metrics import measure_ratios
+from repro.analysis.tables import render_table
+from repro.baselines import kk_tight_family
+from repro.instances import greedy_trap, laminar_suite, section5_gap
+
+instances = laminar_suite(seed=7, sizes=(6, 10, 14))
+instances += [
+    section5_gap(3),
+    section5_gap(4),
+    greedy_trap(3),
+    kk_tight_family(3),
+]
+
+report = measure_ratios(instances, with_lp=True, exact_node_budget=400_000)
+
+rows = []
+for algo in report.algorithms:
+    worst = report.worst_instance(algo)
+    rows.append(
+        [
+            algo,
+            report.mean_ratio(algo),
+            report.max_ratio(algo),
+            worst.instance_name[:30] if worst else "-",
+        ]
+    )
+print(
+    render_table(
+        ["algorithm", "mean ratio", "max ratio", "worst instance"],
+        rows,
+        title=f"approximation ratios over {len(report.rows)} instances "
+        "(vs exact optimum)",
+    )
+)
+
+print("\nper-instance detail (first 12 rows):")
+detail = []
+for row in report.rows[:12]:
+    detail.append(
+        [
+            row.instance_name[:28],
+            row.n,
+            row.g,
+            row.optimum,
+            *(row.values[a] for a in report.algorithms),
+        ]
+    )
+print(
+    render_table(
+        ["instance", "n", "g", "OPT", *(a.split(" ")[0] for a in report.algorithms)],
+        detail,
+    )
+)
+
+print(
+    "\nGuarantees: nested_9_5 ≤ 1.8·OPT (Theorem 4.15), ordered greedy"
+    "\n≤ 2·OPT [9], any minimal feasible ≤ 3·OPT [3].  On typical random"
+    "\ninstances all three are near-optimal; the families separate them."
+)

@@ -1,0 +1,69 @@
+"""Watch NP-hardness happen: set cover → prefix sum cover → active time.
+
+Takes a concrete set-cover instance, pushes it through both Section 6
+reductions, solves the resulting *nested scheduling instance* exactly, and
+reads the set cover answer back off the schedule's special slots.
+
+Run:  python examples/hardness_reduction_demo.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.baselines import solve_exact
+from repro.hardness import (
+    SetCoverInstance,
+    active_time_witness_to_psc,
+    brute_force_set_cover,
+    psc_to_active_time,
+    set_cover_to_psc,
+)
+
+# Universe {0,1,2,3}; can we cover it with 2 of these sets?
+sc = SetCoverInstance(
+    universe_size=4,
+    sets=(
+        frozenset({0, 1}),
+        frozenset({1, 2}),
+        frozenset({2, 3}),
+        frozenset({0, 3}),
+    ),
+    k=2,
+)
+print(f"set cover: universe of {sc.universe_size}, {sc.n} sets, budget k={sc.k}")
+print(f"  sets: {[sorted(s) for s in sc.sets]}")
+witness = brute_force_set_cover(sc)
+print(f"  brute force says: {'YES ' + str(witness) if witness else 'NO'}\n")
+
+# Step 1: encode as prefix sum cover.
+psc = set_cover_to_psc(sc)
+print("as prefix sum cover (nonincreasing positive vectors, prefix-dominate v):")
+print(
+    render_table(
+        ["vector", *(f"dim {j}" for j in range(psc.d))],
+        [[f"u{i}", *u] for i, u in enumerate(psc.vectors)]
+        + [["target v", *psc.target]],
+    )
+)
+
+# Step 2: encode as a nested active-time instance.
+red = psc_to_active_time(psc)
+inst = red.instance
+print(f"\nas nested active-time scheduling: {inst.describe()}")
+print(
+    f"  {red.base_open} non-special slots are pinned open by rigid jobs;"
+    f"\n  opening special slot {red.special_slots[i] if (i := 0) is not None else ''}"
+    f" of block i corresponds to picking u_i;"
+    f"\n  decision: OPT ≤ {red.budget} ⇔ the set cover answer is YES"
+)
+
+result = solve_exact(inst, node_budget=5_000_000)
+print(f"\nexact scheduler: OPT = {result.optimum} (budget {red.budget})")
+answer = result.optimum <= red.budget
+print(f"scheduling answer: {'YES' if answer else 'NO'}")
+
+picks = active_time_witness_to_psc(red, result.slots)
+chosen_sets = sorted(set(picks))
+print(f"special slots opened → vectors picked → sets chosen: {chosen_sets}")
+covered = set().union(*(sc.sets[i] for i in chosen_sets)) if chosen_sets else set()
+print(f"those sets cover: {sorted(covered)} of {list(range(sc.universe_size))}")
+assert answer == (witness is not None)
+print("\nreduction verified against brute force ✓")

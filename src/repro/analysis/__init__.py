@@ -1,0 +1,36 @@
+"""Gap measurement, ratio reports, table rendering."""
+
+from repro.analysis.adversarial import AdversarialHit, search_adversarial, seeded_recipe
+from repro.analysis.certificates import Certificate, certify
+from repro.analysis.gantt import print_gantt, render_gantt
+from repro.analysis.gaps import GapReport, gap_profile, integrality_gap, lp_value
+from repro.analysis.metrics import (
+    DEFAULT_ALGORITHMS,
+    RatioReport,
+    RatioRow,
+    measure_ratios,
+)
+from repro.analysis.parallel import register_task, run_battery
+from repro.analysis.tables import print_table, render_table
+
+__all__ = [
+    "integrality_gap",
+    "gap_profile",
+    "lp_value",
+    "GapReport",
+    "measure_ratios",
+    "RatioReport",
+    "RatioRow",
+    "DEFAULT_ALGORITHMS",
+    "render_table",
+    "render_gantt",
+    "print_gantt",
+    "certify",
+    "Certificate",
+    "search_adversarial",
+    "seeded_recipe",
+    "AdversarialHit",
+    "run_battery",
+    "register_task",
+    "print_table",
+]

@@ -1,0 +1,80 @@
+"""Randomized search for adversarial instances.
+
+The lower-bound families of the literature ([9]'s 2−1/g examples) are not
+reconstructible from the brief announcements, so this module provides the
+empirical substitute used by benchmark E5: sweep seeded random instances,
+score each algorithm against the exact optimum, and keep the worst cases.
+Deterministic given the seed, so found instances are reproducible by
+(recipe, seed) pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.instances.generators import random_laminar
+from repro.instances.jobs import Instance
+
+
+@dataclass(frozen=True)
+class AdversarialHit:
+    """One instance on which an algorithm performed badly."""
+
+    seed: int
+    instance: Instance
+    optimum: int
+    value: int
+
+    @property
+    def ratio(self) -> float:
+        return self.value / max(self.optimum, 1)
+
+
+def seeded_recipe(seed: int) -> Instance:
+    """The search recipe used to find the E5 seeds (kept stable)."""
+    rng = random.Random(seed)
+    return random_laminar(
+        rng.randint(5, 14),
+        rng.randint(1, 4),
+        horizon=rng.randint(10, 30),
+        seed=seed,
+        unit_fraction=rng.random(),
+    )
+
+
+def search_adversarial(
+    algorithm: Callable[[Instance], int],
+    *,
+    trials: int = 100,
+    keep: int = 5,
+    recipe: Callable[[int], Instance] = seeded_recipe,
+    exact_node_budget: int = 200_000,
+    seeds: Sequence[int] | None = None,
+) -> list[AdversarialHit]:
+    """Return the ``keep`` worst instances for ``algorithm`` found.
+
+    ``algorithm`` maps an instance to its active-time value.  Instances
+    whose exact solve exceeds the budget are skipped.
+    """
+    hits: list[AdversarialHit] = []
+    for seed in seeds if seeds is not None else range(trials):
+        instance = recipe(seed)
+        try:
+            optimum = solve_exact(
+                instance, node_budget=exact_node_budget
+            ).optimum
+        except BudgetExceeded:
+            continue
+        if optimum == 0:
+            continue
+        value = algorithm(instance)
+        hits.append(
+            AdversarialHit(
+                seed=seed, instance=instance, optimum=optimum, value=value
+            )
+        )
+    hits.sort(key=lambda h: -h.ratio)
+    return hits[:keep]

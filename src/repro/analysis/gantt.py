@@ -1,0 +1,76 @@
+"""ASCII Gantt rendering of schedules.
+
+Terminal-friendly visualization: one row per job, one column per slot,
+with the active-slot footer showing machine power state.  Used by the
+examples and the CLI's ``solve --show`` flag.
+
+    job 0 |##  ##    |
+    job 1 |##        |
+    job 2 |      ##  |
+    power |AA  AA##  |
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    char_run: str = "#",
+    char_window: str = "·",
+    char_idle: str = " ",
+    max_width: int = 200,
+) -> str:
+    """Render the schedule as an ASCII Gantt chart.
+
+    Each job row shows its window (``·``) and the slots it runs in
+    (``#``); the footer marks active slots (``A``).  Horizons wider than
+    ``max_width`` are refused (the chart would wrap into noise).
+    """
+    inst = schedule.instance
+    if inst.n == 0:
+        return "(empty instance)"
+    horizon = inst.horizon
+    if horizon.length > max_width:
+        raise ValueError(
+            f"horizon {horizon.length} exceeds max_width={max_width}"
+        )
+    offset = horizon.start
+    width = horizon.length
+    label_w = max(len(f"job {j.id}") for j in inst.jobs)
+    lines: list[str] = []
+    for job in inst.jobs:
+        row = [char_idle] * width
+        for t in range(job.release, job.deadline):
+            row[t - offset] = char_window
+        for t in schedule.assignment.get(job.id, ()):
+            row[t - offset] = char_run
+        label = f"job {job.id}".ljust(label_w)
+        lines.append(f"{label} |{''.join(row)}|")
+    footer = [char_idle] * width
+    for t in schedule.active_slots:
+        footer[t - offset] = "A"
+    lines.append(f"{'power'.ljust(label_w)} |{''.join(footer)}|")
+    ruler = _ruler(offset, width)
+    lines.append(f"{''.ljust(label_w)}  {ruler}")
+    return "\n".join(lines)
+
+
+def _ruler(offset: int, width: int) -> str:
+    """Tick marks every 5 slots, labeled where they fit."""
+    cells = [" "] * width
+    pos = 0
+    while pos < width:
+        label = str(offset + pos)
+        if pos + len(label) <= width:
+            for k, ch in enumerate(label):
+                cells[pos + k] = ch
+        pos += max(5, len(str(offset + pos)) + 1)
+    return "".join(cells)
+
+
+def print_gantt(schedule: Schedule, **kw) -> None:
+    """Render and print."""
+    print(render_gantt(schedule, **kw))

@@ -1,0 +1,77 @@
+"""Integrality-gap measurement for any (instance, relaxation) pair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.baselines.exact import ExactResult, solve_exact
+from repro.instances.jobs import Instance
+from repro.lp.cw_lp import solve_cw_lp
+from repro.lp.natural_lp import solve_natural_lp
+from repro.lp.nested_lp import solve_nested_lp
+from repro.tree.canonical import canonicalize
+
+Relaxation = Literal["nested", "nested_no_ceiling", "natural", "cw"]
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """LP value, integral optimum and their ratio for one instance."""
+
+    instance_name: str
+    relaxation: Relaxation
+    lp_value: float
+    optimum: int
+
+    @property
+    def gap(self) -> float:
+        """``OPT / LP`` (≥ 1; the integrality gap exhibited)."""
+        if self.lp_value <= 0:
+            return 1.0
+        return self.optimum / self.lp_value
+
+
+def lp_value(instance: Instance, relaxation: Relaxation) -> float:
+    """Solve the requested relaxation on the instance."""
+    if relaxation in ("nested", "nested_no_ceiling"):
+        canonical = canonicalize(instance)
+        return solve_nested_lp(
+            canonical, ceiling=(relaxation == "nested")
+        ).value
+    if relaxation == "natural":
+        return solve_natural_lp(instance).value
+    if relaxation == "cw":
+        return solve_cw_lp(instance).value
+    raise ValueError(f"unknown relaxation {relaxation!r}")
+
+
+def integrality_gap(
+    instance: Instance,
+    relaxation: Relaxation,
+    *,
+    exact: ExactResult | None = None,
+    node_budget: int = 2_000_000,
+) -> GapReport:
+    """Measure ``OPT / LP`` for one instance and one relaxation."""
+    if exact is None:
+        exact = solve_exact(instance, node_budget=node_budget)
+    return GapReport(
+        instance_name=instance.name,
+        relaxation=relaxation,
+        lp_value=lp_value(instance, relaxation),
+        optimum=exact.optimum,
+    )
+
+
+def gap_profile(
+    instance: Instance,
+    relaxations: tuple[Relaxation, ...] = ("natural", "cw", "nested"),
+    *,
+    node_budget: int = 2_000_000,
+) -> list[GapReport]:
+    """Gap of several relaxations on one instance (one exact solve)."""
+    exact = solve_exact(instance, node_budget=node_budget)
+    return [
+        integrality_gap(instance, r, exact=exact) for r in relaxations
+    ]

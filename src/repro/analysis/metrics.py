@@ -1,0 +1,123 @@
+"""Approximation-ratio measurements across algorithms and instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Callable, Sequence
+
+from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.baselines.kumar_khuller import kumar_khuller_schedule
+from repro.baselines.minimal_feasible import minimal_feasible_schedule
+from repro.core.algorithm import solve_nested
+from repro.instances.jobs import Instance
+
+#: Algorithm registry: name → callable returning an active-time value.
+Algorithm = Callable[[Instance], int]
+
+
+def _nested_active_time(instance: Instance) -> int:
+    return solve_nested(instance).active_time
+
+
+def _greedy_arbitrary(instance: Instance) -> int:
+    return minimal_feasible_schedule(instance, order="given").active_time
+
+
+def _greedy_ordered(instance: Instance) -> int:
+    return kumar_khuller_schedule(instance).active_time
+
+
+DEFAULT_ALGORITHMS: dict[str, Algorithm] = {
+    "nested_9_5": _nested_active_time,
+    "greedy_minimal (CKM 3-approx)": _greedy_arbitrary,
+    "greedy_ordered (KK-style)": _greedy_ordered,
+}
+
+
+@dataclass
+class RatioRow:
+    """Per-instance measurement: optimum plus each algorithm's value."""
+
+    instance_name: str
+    n: int
+    g: int
+    optimum: int | None
+    lp_value: float | None
+    values: dict[str, int] = field(default_factory=dict)
+
+    def ratio(self, algorithm: str) -> float | None:
+        base = self.optimum if self.optimum else None
+        if base is None or algorithm not in self.values:
+            return None
+        return self.values[algorithm] / base
+
+    def lp_ratio(self, algorithm: str) -> float | None:
+        if not self.lp_value or algorithm not in self.values:
+            return None
+        return self.values[algorithm] / self.lp_value
+
+
+@dataclass
+class RatioReport:
+    """Aggregated ratios over a battery of instances."""
+
+    rows: list[RatioRow]
+    algorithms: tuple[str, ...]
+
+    def mean_ratio(self, algorithm: str) -> float | None:
+        vals = [r.ratio(algorithm) for r in self.rows]
+        vals = [v for v in vals if v is not None]
+        return mean(vals) if vals else None
+
+    def max_ratio(self, algorithm: str) -> float | None:
+        vals = [r.ratio(algorithm) for r in self.rows]
+        vals = [v for v in vals if v is not None]
+        return max(vals) if vals else None
+
+    def worst_instance(self, algorithm: str) -> RatioRow | None:
+        scored = [
+            (r.ratio(algorithm), r)
+            for r in self.rows
+            if r.ratio(algorithm) is not None
+        ]
+        return max(scored, key=lambda t: t[0])[1] if scored else None
+
+
+def measure_ratios(
+    instances: Sequence[Instance],
+    algorithms: dict[str, Algorithm] | None = None,
+    *,
+    with_lp: bool = False,
+    exact_node_budget: int = 500_000,
+) -> RatioReport:
+    """Run every algorithm on every instance; compute OPT where affordable.
+
+    Instances whose exact solve exceeds the node budget get
+    ``optimum=None`` (their rows still carry raw values and LP ratios).
+    """
+    algorithms = algorithms or DEFAULT_ALGORITHMS
+    rows: list[RatioRow] = []
+    for inst in instances:
+        try:
+            optimum: int | None = solve_exact(
+                inst, node_budget=exact_node_budget
+            ).optimum
+        except BudgetExceeded:
+            optimum = None
+        lp: float | None = None
+        if with_lp and inst.is_laminar:
+            from repro.baselines.lower_bounds import strengthened_lp_bound
+
+            lp = strengthened_lp_bound(inst)
+        row = RatioRow(
+            instance_name=inst.name,
+            n=inst.n,
+            g=inst.g,
+            optimum=optimum,
+            lp_value=lp,
+        )
+        for name, algo in algorithms.items():
+            row.values[name] = algo(inst)
+        rows.append(row)
+    return RatioReport(rows=rows, algorithms=tuple(algorithms))

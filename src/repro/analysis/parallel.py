@@ -1,0 +1,103 @@
+"""Parallel execution of instance batteries.
+
+Experiment sweeps (E1/E5-style) are embarrassingly parallel across
+instances; this module fans them out over a process pool.  Workers
+receive serialized instances (the JSON dict form — cheap and robust to
+pickle across processes) and a *named* task so the callable itself never
+crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+from repro.instances.io import instance_from_dict, instance_to_dict
+from repro.instances.jobs import Instance
+
+#: Registry of tasks a worker can run; values map instance → result dict.
+_TASKS = {}
+
+
+def register_task(name: str):
+    """Decorator: make a function available to :func:`run_battery`."""
+
+    def wrap(fn):
+        _TASKS[name] = fn
+        return fn
+
+    return wrap
+
+
+@register_task("solve_nested")
+def _task_solve_nested(instance: Instance) -> dict[str, Any]:
+    from repro.core.algorithm import solve_nested
+
+    result = solve_nested(instance)
+    return {
+        "active_time": result.active_time,
+        "lp_value": result.lp_value,
+        "repairs": result.repairs,
+    }
+
+
+@register_task("greedy")
+def _task_greedy(instance: Instance) -> dict[str, Any]:
+    from repro.baselines.minimal_feasible import minimal_feasible_schedule
+
+    return {
+        "active_time": minimal_feasible_schedule(
+            instance, "right_to_left"
+        ).active_time
+    }
+
+
+@register_task("exact")
+def _task_exact(instance: Instance) -> dict[str, Any]:
+    from repro.baselines.exact import BudgetExceeded, solve_exact
+
+    try:
+        return {"optimum": solve_exact(instance, node_budget=400_000).optimum}
+    except BudgetExceeded:
+        return {"optimum": None}
+
+
+@register_task("gaps")
+def _task_gaps(instance: Instance) -> dict[str, Any]:
+    from repro.baselines.lower_bounds import (
+        natural_lp_bound,
+        strengthened_lp_bound,
+    )
+
+    out: dict[str, Any] = {"natural_lp": natural_lp_bound(instance)}
+    if instance.is_laminar:
+        out["strengthened_lp"] = strengthened_lp_bound(instance)
+    return out
+
+
+def _worker(payload: tuple[str, dict]) -> dict[str, Any]:
+    task_name, doc = payload
+    instance = instance_from_dict(doc)
+    return _TASKS[task_name](instance)
+
+
+def run_battery(
+    instances: Sequence[Instance],
+    task: str,
+    *,
+    max_workers: int | None = None,
+    chunksize: int = 1,
+) -> list[dict[str, Any]]:
+    """Run a registered task over instances with a process pool.
+
+    Results come back in input order.  ``max_workers=1`` short-circuits
+    to in-process execution (useful under debuggers and on single-core
+    CI), keeping behaviour identical.
+    """
+    if task not in _TASKS:
+        raise ValueError(f"unknown task {task!r}; have {sorted(_TASKS)}")
+    payloads = [(task, instance_to_dict(inst)) for inst in instances]
+    if max_workers == 1 or len(instances) <= 1:
+        return [_worker(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_worker, payloads, chunksize=chunksize))

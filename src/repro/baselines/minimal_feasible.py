@@ -1,0 +1,138 @@
+"""Greedy deactivation to a *minimal feasible* slot set.
+
+Chang–Khuller–Mukherjee [3] prove any minimal feasible solution is a
+3-approximation: start from all slots active and deactivate while the flow
+test still passes.  Kumar–Khuller [9] get a 2-approximation by choosing
+deactivation candidates "more carefully"; the candidate *order* is the
+whole story, so the order is a strategy parameter here (see
+:mod:`repro.baselines.kumar_khuller` for the 2-approx configuration and
+DESIGN.md §5 for the substitution note).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal, Sequence
+
+from repro.core.schedule import Schedule
+from repro.flow.feasibility import extract_schedule, slot_feasible
+from repro.instances.jobs import Instance
+from repro.util.errors import InfeasibleInstanceError
+
+Order = Literal[
+    "given", "left_to_right", "right_to_left", "densest_first", "sparsest_first"
+]
+
+
+def covered_slots(instance: Instance) -> list[int]:
+    """Slots inside at least one job window (others can never host work)."""
+    out = set()
+    for job in instance.jobs:
+        out.update(range(job.release, job.deadline))
+    return sorted(out)
+
+
+def _coverage(instance: Instance) -> dict[int, int]:
+    cov: dict[int, int] = {}
+    for job in instance.jobs:
+        for t in range(job.release, job.deadline):
+            cov[t] = cov.get(t, 0) + 1
+    return cov
+
+
+def _ordered(instance: Instance, slots: Sequence[int], order: Order) -> list[int]:
+    if order in ("given", "left_to_right"):
+        return sorted(slots)
+    if order == "right_to_left":
+        return sorted(slots, reverse=True)
+    cov = _coverage(instance)
+    if order == "densest_first":
+        return sorted(slots, key=lambda t: (-cov.get(t, 0), t))
+    if order == "sparsest_first":
+        return sorted(slots, key=lambda t: (cov.get(t, 0), t))
+    raise ValueError(f"unknown order {order!r}")
+
+
+def minimal_feasible_slots(
+    instance: Instance,
+    order: Order = "given",
+    *,
+    initial: Sequence[int] | None = None,
+) -> list[int]:
+    """Deactivate slots in the given order; return a minimal feasible set.
+
+    The result is minimal: removing any single remaining slot breaks
+    feasibility (guaranteed because feasibility is monotone in the slot
+    set, so a slot that survives its own test never becomes removable).
+
+    Feasibility checks run on the coverage-class aggregation (slots with
+    identical covering-window sets are interchangeable), which shrinks
+    each max-flow from ``T`` slot nodes to the handful of distinct
+    classes — roughly a 10x speedup on the profile (see DESIGN.md §3).
+    """
+    from repro.baselines.exact import _class_flow_feasible, slot_classes
+
+    active = set(initial if initial is not None else covered_slots(instance))
+    classes = slot_classes(instance)
+    class_of: dict[int, int] = {}
+    counts = [0] * len(classes)
+    for ci, cls in enumerate(classes):
+        for t in cls.slots:
+            class_of[t] = ci
+            if t in active:
+                counts[ci] += 1
+    # Slots outside every window contribute nothing; drop them up front.
+    active &= set(class_of)
+
+    if not _class_flow_feasible(instance, classes, counts):
+        raise InfeasibleInstanceError(
+            f"instance {instance.name!r} infeasible on the initial slot set"
+        )
+    for t in _ordered(instance, sorted(active), order):
+        ci = class_of[t]
+        counts[ci] -= 1
+        if _class_flow_feasible(instance, classes, counts):
+            active.discard(t)
+        else:
+            counts[ci] += 1
+    return sorted(active)
+
+
+def minimal_feasible_schedule(
+    instance: Instance, order: Order = "given"
+) -> Schedule:
+    """Greedy-deactivation schedule (the CKM 3-approximation)."""
+    slots = minimal_feasible_slots(instance, order)
+    schedule = extract_schedule(instance, slots)
+    assert schedule is not None  # the slot set was verified feasible
+    return schedule.require_valid()
+
+
+def is_minimal_feasible(instance: Instance, slots: Sequence[int]) -> bool:
+    """Check conditions (i)+(ii) of minimality from the paper."""
+    slot_set = set(slots)
+    if not slot_feasible(instance, sorted(slot_set)):
+        return False
+    return all(
+        not slot_feasible(instance, sorted(slot_set - {t})) for t in slot_set
+    )
+
+
+def best_of_orders(
+    instance: Instance,
+    orders: Sequence[Order] = (
+        "left_to_right",
+        "right_to_left",
+        "densest_first",
+        "sparsest_first",
+    ),
+    key: Callable[[Schedule], float] | None = None,
+) -> tuple[Schedule, Order]:
+    """Run several deactivation orders; return the best schedule and order."""
+    score = key or (lambda s: s.active_time)
+    best: tuple[Schedule, Order] | None = None
+    for order in orders:
+        sched = minimal_feasible_schedule(instance, order)
+        if best is None or score(sched) < score(best[0]):
+            best = (sched, order)
+    assert best is not None
+    return best

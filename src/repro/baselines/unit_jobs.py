@@ -1,0 +1,55 @@
+"""Lazy-activation heuristic for unit jobs.
+
+Chang–Gabow–Khuller [2] show the all-unit case is solvable in polynomial
+time.  This module implements the natural lazy algorithm: process jobs in
+deadline order; reuse the latest open slot with spare capacity inside the
+window; otherwise open the *latest* closed slot of the window.
+
+Scope of the optimality claim (established empirically in
+``tests/test_unit_jobs.py``): on *laminar* unit instances the lazy rule
+matches the exact branch and bound on every one of hundreds of random
+trials; on general (crossing-window) unit instances it is only a heuristic
+— concrete counterexamples exist where it opens one extra slot — so the
+exact solver remains the reference there (CGK's polynomial algorithm for
+the general unit case is more subtle than lazy activation).
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.instances.jobs import Instance
+from repro.util.errors import InfeasibleInstanceError, InvalidInstanceError
+
+
+def unit_lazy_schedule(instance: Instance) -> Schedule:
+    """Schedule an all-unit instance by lazy latest-slot activation."""
+    if not instance.is_unit:
+        raise InvalidInstanceError("lazy activation requires unit jobs")
+    g = instance.g
+    load: dict[int, int] = {}
+    assignment: dict[int, list[int]] = {}
+    # Deadline order; ties broken by later release (tighter window first).
+    for job in sorted(instance.jobs, key=lambda j: (j.deadline, -j.release)):
+        chosen = None
+        # Prefer the latest already-open slot with spare capacity.
+        for t in sorted(load, reverse=True):
+            if job.release <= t < job.deadline and load[t] < g:
+                chosen = t
+                break
+        if chosen is None:
+            for t in range(job.deadline - 1, job.release - 1, -1):
+                if t not in load:
+                    chosen = t
+                    break
+        if chosen is None:
+            raise InfeasibleInstanceError(
+                f"unit instance {instance.name!r} infeasible at job {job.id}"
+            )
+        load[chosen] = load.get(chosen, 0) + 1
+        assignment[job.id] = [chosen]
+    return Schedule.from_assignment(instance, assignment).require_valid()
+
+
+def unit_active_time(instance: Instance) -> int:
+    """Active time of the lazy schedule."""
+    return unit_lazy_schedule(instance).active_time

@@ -1,0 +1,16 @@
+"""Busy-time scheduling (related work: non-preemptive, machine pool)."""
+
+from repro.busytime.algorithms import exact_busy_time, first_fit_decreasing
+from repro.busytime.model import (
+    BusyAssignment,
+    BusyTimeInstance,
+    IntervalJob,
+)
+
+__all__ = [
+    "IntervalJob",
+    "BusyTimeInstance",
+    "BusyAssignment",
+    "first_fit_decreasing",
+    "exact_busy_time",
+]

@@ -1,0 +1,104 @@
+"""Busy-time heuristics and exact reference.
+
+* :func:`first_fit_decreasing` — the classic greedy the busy-time
+  literature builds on: sort jobs by length (longest first), place each
+  on the machine whose busy time grows the least among those with
+  capacity, opening a new machine when none fits.  Constant-factor
+  approximate on interval instances (Flammini et al. analyze a variant at
+  factor 4); we verify the measured factor against ``max(span, load)``.
+* :func:`exact_busy_time` — brute force over machine assignments for tiny
+  instances (used to validate the greedy in tests).
+"""
+
+from __future__ import annotations
+
+
+from repro.busytime.model import (
+    BusyAssignment,
+    BusyTimeInstance,
+    IntervalJob,
+)
+from repro.util.intervals import union_length
+
+
+def _fits(members: list[IntervalJob], job: IntervalJob, g: int) -> bool:
+    """Would adding ``job`` keep the machine within capacity everywhere?"""
+    overlapping = [j for j in members if j.interval.overlaps(job.interval)]
+    if len(overlapping) < g:
+        return True
+    # Need an exact sweep: count concurrency over job's interval.
+    events: list[tuple[int, int]] = [(job.start, 1), (job.end, -1)]
+    for j in overlapping:
+        events.append((max(j.start, job.start), 1))
+        events.append((min(j.end, job.end), -1))
+    events.sort()
+    load = 0
+    for _, delta in events:
+        load += delta
+        if load > g:
+            return False
+    return True
+
+
+def _growth(members: list[IntervalJob], job: IntervalJob) -> int:
+    """Busy-time increase if ``job`` joins the machine."""
+    before = union_length([j.interval for j in members])
+    after = union_length([j.interval for j in members] + [job.interval])
+    return after - before
+
+
+def first_fit_decreasing(instance: BusyTimeInstance) -> BusyAssignment:
+    """Longest-first greedy with best-fit (minimal busy-time growth)."""
+    machines: list[list[IntervalJob]] = []
+    machine_of: dict[int, int] = {}
+    for job in sorted(instance.jobs, key=lambda j: (-j.length, j.start, j.id)):
+        best, best_growth = None, None
+        for m, members in enumerate(machines):
+            if _fits(members, job, instance.g):
+                growth = _growth(members, job)
+                if best_growth is None or growth < best_growth:
+                    best, best_growth = m, growth
+        if best is None:
+            machines.append([job])
+            machine_of[job.id] = len(machines) - 1
+        else:
+            machines[best].append(job)
+            machine_of[job.id] = best
+    return BusyAssignment(instance=instance, machine_of=machine_of)
+
+
+def exact_busy_time(instance: BusyTimeInstance, *, max_jobs: int = 9) -> int:
+    """Optimal busy time by enumerating machine assignments (tiny only).
+
+    Machines are symmetric, so assignments are enumerated in restricted-
+    growth form (job ``k`` may open machine ``max+1`` at most).
+    """
+    n = instance.n
+    if n == 0:
+        return 0
+    if n > max_jobs:
+        raise ValueError(f"exact busy time capped at {max_jobs} jobs")
+    jobs = instance.jobs
+    best = None
+    # Restricted growth strings to avoid machine-permutation blowup.
+    def rec(idx: int, assignment: list[int], used: int):
+        nonlocal best
+        if idx == n:
+            ba = BusyAssignment(
+                instance=instance,
+                machine_of={jobs[k].id: assignment[k] for k in range(n)},
+            )
+            if ba.is_valid:
+                cost = ba.busy_time
+                if best is None or cost < best:
+                    best = cost
+            return
+        for m in range(used + 1):
+            assignment.append(m)
+            rec(idx + 1, assignment, max(used, m + 1))
+            assignment.pop()
+
+    rec(0, [], 0)
+    if best is None:
+        raise AssertionError("some assignment must be valid (enough machines)")
+    return best

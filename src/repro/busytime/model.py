@@ -1,0 +1,136 @@
+"""The busy-time problem (related work, [5]/[8] in the paper).
+
+Jobs are *non-preemptible fixed intervals*; machines have capacity ``g``
+(at most ``g`` jobs simultaneously); a machine is *busy* over the union of
+its jobs' intervals; minimize the total busy time over all machines (an
+unbounded pool).  The paper cites this as the harder sibling of active
+time — even feasibility for a fixed machine count is NP-hard — and we
+implement the classic interval version used by the cited works: each job
+is an interval ``[s_j, e_j)`` that must run exactly there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping
+
+from repro.util.errors import InvalidInstanceError
+from repro.util.intervals import Interval, union_length
+
+
+@dataclass(frozen=True)
+class IntervalJob:
+    """A rigid job occupying exactly ``[start, end)``."""
+
+    id: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise InvalidInstanceError(f"job {self.id}: empty interval")
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.end)
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class BusyTimeInstance:
+    """Busy-time instance: rigid interval jobs plus machine capacity."""
+
+    jobs: tuple[IntervalJob, ...]
+    g: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.g, int) or self.g < 1:
+            raise InvalidInstanceError(f"bad capacity {self.g!r}")
+        seen: set[int] = set()
+        for job in self.jobs:
+            if job.id in seen:
+                raise InvalidInstanceError(f"duplicate job id {job.id}")
+            seen.add(job.id)
+
+    def __iter__(self) -> Iterator[IntervalJob]:
+        return iter(self.jobs)
+
+    @property
+    def n(self) -> int:
+        return len(self.jobs)
+
+    @cached_property
+    def span_lower_bound(self) -> int:
+        """Busy time of one infinite-capacity machine (the span bound)."""
+        return union_length([j.interval for j in self.jobs])
+
+    @cached_property
+    def load_lower_bound(self) -> float:
+        """Total work divided by capacity (the load bound)."""
+        return sum(j.length for j in self.jobs) / self.g
+
+    def lower_bound(self) -> float:
+        """max(span, load) — the standard busy-time LB both cited
+        approximations are analyzed against."""
+        return max(float(self.span_lower_bound), self.load_lower_bound)
+
+    @staticmethod
+    def from_pairs(
+        pairs: Iterable[tuple[int, int]], g: int, name: str = ""
+    ) -> "BusyTimeInstance":
+        jobs = tuple(
+            IntervalJob(id=k, start=a, end=b) for k, (a, b) in enumerate(pairs)
+        )
+        return BusyTimeInstance(jobs=jobs, g=g, name=name)
+
+
+@dataclass(frozen=True)
+class BusyAssignment:
+    """Jobs → machine index; cost = Σ per-machine union lengths."""
+
+    instance: BusyTimeInstance
+    machine_of: Mapping[int, int]
+
+    def machines(self) -> dict[int, list[IntervalJob]]:
+        out: dict[int, list[IntervalJob]] = {}
+        jobs = {j.id: j for j in self.instance.jobs}
+        for jid, m in self.machine_of.items():
+            out.setdefault(m, []).append(jobs[jid])
+        return out
+
+    @property
+    def busy_time(self) -> int:
+        return sum(
+            union_length([j.interval for j in members])
+            for members in self.machines().values()
+        )
+
+    def violations(self) -> list[str]:
+        """Check capacity on every machine and that every job is placed."""
+        problems: list[str] = []
+        placed = set(self.machine_of)
+        for job in self.instance.jobs:
+            if job.id not in placed:
+                problems.append(f"job {job.id} unassigned")
+        for m, members in self.machines().items():
+            events: list[tuple[int, int]] = []
+            for j in members:
+                events.append((j.start, 1))
+                events.append((j.end, -1))
+            events.sort()
+            load = 0
+            for t, delta in events:
+                load += delta
+                if load > self.instance.g:
+                    problems.append(f"machine {m} over capacity at {t}")
+                    break
+        return problems
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.violations()

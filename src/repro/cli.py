@@ -1,0 +1,207 @@
+"""Command-line interface: ``active-time <subcommand>``.
+
+Subcommands
+-----------
+``generate``   sample a random instance or a named family → JSON
+``solve``      run an algorithm on a JSON instance, print/persist schedule
+``evaluate``   compare all algorithms (and OPT when affordable)
+``gap``        integrality gaps of the three relaxations on one instance
+``inspect``    canonical window tree, lengths and OPT_i thresholds
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.gaps import gap_profile
+from repro.analysis.metrics import measure_ratios
+from repro.analysis.tables import render_table
+from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.baselines.kumar_khuller import kumar_khuller_schedule
+from repro.baselines.minimal_feasible import minimal_feasible_schedule
+from repro.core.algorithm import solve_nested
+from repro.online import EagerActivation, LazyActivation, run_online
+from repro.instances.families import ALL_FAMILIES
+from repro.instances.generators import random_general, random_laminar
+from repro.instances.io import dump_instance, dump_schedule, load_instance
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.family:
+        if args.family not in ALL_FAMILIES:
+            print(
+                f"unknown family {args.family!r}; choose from "
+                f"{sorted(ALL_FAMILIES)}",
+                file=sys.stderr,
+            )
+            return 2
+        instance = ALL_FAMILIES[args.family](args.g)
+    elif args.general:
+        instance = random_general(args.jobs, args.g, seed=args.seed)
+    else:
+        instance = random_laminar(args.jobs, args.g, seed=args.seed)
+    dump_instance(instance, args.output)
+    print(instance.describe())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    if args.algorithm == "nested":
+        result = solve_nested(instance)
+        schedule = result.schedule
+        print(result.summary())
+    elif args.algorithm == "greedy":
+        schedule = minimal_feasible_schedule(instance)
+    elif args.algorithm == "kk":
+        schedule = kumar_khuller_schedule(instance)
+    elif args.algorithm == "exact":
+        schedule = solve_exact(instance).schedule(instance)
+    elif args.algorithm == "lazy-online":
+        schedule = run_online(instance, LazyActivation()).schedule
+    elif args.algorithm == "eager-online":
+        schedule = run_online(instance, EagerActivation()).schedule
+    else:
+        print(f"unknown algorithm {args.algorithm!r}", file=sys.stderr)
+        return 2
+    print(f"active_time={schedule.active_time} slots={schedule.active_slots}")
+    if args.show:
+        from repro.analysis.gantt import render_gantt
+
+        print(render_gantt(schedule))
+    if args.output:
+        dump_schedule(schedule, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    report = measure_ratios([instance], with_lp=instance.is_laminar)
+    row = report.rows[0]
+    table_rows = [
+        [name, value, row.ratio(name), row.lp_ratio(name)]
+        for name, value in row.values.items()
+    ]
+    print(
+        render_table(
+            ["algorithm", "active_time", "vs OPT", "vs LP"],
+            table_rows,
+            title=f"{instance.describe()}  OPT={row.optimum}",
+        )
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.opt_thresholds import compute_thresholds
+    from repro.tree.canonical import canonicalize
+    from repro.tree.render import forest_stats, render_forest
+
+    instance = load_instance(args.instance)
+    print(instance.describe())
+    if not instance.is_laminar:
+        print("windows are not laminar; tree view unavailable")
+        return 0
+    canonical = canonicalize(instance)
+    thresholds = compute_thresholds(
+        canonical.forest,
+        canonical.job_node,
+        {j.id: j for j in canonical.instance.jobs},
+        canonical.instance.g,
+    )
+    print(
+        render_forest(
+            canonical.forest,
+            annotate=lambda i: f"omega={thresholds.value(i)}",
+        )
+    )
+    stats = forest_stats(canonical.forest)
+    print(
+        render_table(
+            ["stat", "value"], [[k, v] for k, v in stats.items()],
+            title="canonical forest",
+        )
+    )
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    relaxations = (
+        ("natural", "cw", "nested")
+        if instance.is_laminar
+        else ("natural", "cw")
+    )
+    try:
+        reports = gap_profile(instance, relaxations)
+    except BudgetExceeded:
+        print("exact optimum too expensive for this instance", file=sys.stderr)
+        return 1
+    rows = [[r.relaxation, r.lp_value, r.optimum, r.gap] for r in reports]
+    print(
+        render_table(
+            ["relaxation", "LP value", "OPT", "gap"],
+            rows,
+            title=instance.describe(),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="active-time",
+        description="Nested active-time scheduling toolkit (SPAA 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="sample an instance to JSON")
+    gen.add_argument("output", help="output JSON path")
+    gen.add_argument("--jobs", type=int, default=12)
+    gen.add_argument("--g", type=int, default=3)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--family", help=f"one of {sorted(ALL_FAMILIES)}")
+    gen.add_argument(
+        "--general", action="store_true", help="allow crossing windows"
+    )
+    gen.set_defaults(func=_cmd_generate)
+
+    solve = sub.add_parser("solve", help="schedule a JSON instance")
+    solve.add_argument("instance")
+    solve.add_argument(
+        "--algorithm",
+        default="nested",
+        choices=["nested", "greedy", "kk", "exact", "lazy-online", "eager-online"],
+    )
+    solve.add_argument("--output", help="write the schedule JSON here")
+    solve.add_argument(
+        "--show", action="store_true", help="print an ASCII Gantt chart"
+    )
+    solve.set_defaults(func=_cmd_solve)
+
+    ev = sub.add_parser("evaluate", help="compare algorithms on an instance")
+    ev.add_argument("instance")
+    ev.set_defaults(func=_cmd_evaluate)
+
+    gap = sub.add_parser("gap", help="integrality gaps on an instance")
+    gap.add_argument("instance")
+    gap.set_defaults(func=_cmd_gap)
+
+    insp = sub.add_parser(
+        "inspect", help="canonical window tree and OPT_i thresholds"
+    )
+    insp.add_argument("instance")
+    insp.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

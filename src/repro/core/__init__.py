@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the 9/5-approximation pipeline."""
+
+from repro.core.algorithm import NestedResult, solve_nested
+from repro.core.opt_thresholds import OptThresholds, compute_thresholds
+from repro.core.rounding import (
+    APPROX_FACTOR,
+    RoundingResult,
+    classify_topmost,
+    round_solution,
+)
+from repro.core.schedule import Schedule
+from repro.core.transform import (
+    TransformedLP,
+    push_down,
+    verify_claim1,
+    verify_pushdown_invariant,
+)
+from repro.core.triples import (
+    Triple,
+    TripleConstruction,
+    build_triples,
+    lemma_4_11_case,
+)
+
+__all__ = [
+    "solve_nested",
+    "NestedResult",
+    "Schedule",
+    "APPROX_FACTOR",
+    "round_solution",
+    "RoundingResult",
+    "classify_topmost",
+    "push_down",
+    "TransformedLP",
+    "verify_pushdown_invariant",
+    "verify_claim1",
+    "compute_thresholds",
+    "OptThresholds",
+    "build_triples",
+    "Triple",
+    "TripleConstruction",
+    "lemma_4_11_case",
+]

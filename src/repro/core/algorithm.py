@@ -1,0 +1,172 @@
+"""End-to-end 9/5-approximation for nested active-time scheduling.
+
+Pipeline (Theorem 4.15):
+
+1. canonicalize the laminar instance (binary tree, rigid leaves);
+2. solve the strengthened LP (1);
+3. push the solution down the tree (Lemma 3.1);
+4. round with Algorithm 1;
+5. extract an integral schedule through the Lemma 4.1 flow network and the
+   wrap-around slot assignment.
+
+The produced schedule is re-validated independently; a defensive repair
+loop exists for numerical corner cases but is expected never to fire
+(tests assert ``repairs == 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rounding import APPROX_FACTOR, RoundingResult, round_solution
+from repro.core.schedule import Schedule
+from repro.core.transform import TransformedLP, push_down
+from repro.flow.assignment import schedule_from_node_counts
+from repro.flow.feasibility import all_slots_feasible, node_assignment
+from repro.instances.jobs import Instance
+from repro.lp.nested_lp import NestedLPSolution, solve_nested_lp
+from repro.tree.canonical import CanonicalInstance, canonicalize
+from repro.util.errors import InfeasibleInstanceError, SolverError
+
+
+@dataclass(frozen=True)
+class NestedResult:
+    """Everything produced by one run of the 9/5 algorithm."""
+
+    schedule: Schedule
+    active_time: int
+    lp_value: float
+    canonical: CanonicalInstance
+    lp_solution: NestedLPSolution
+    transformed: TransformedLP
+    rounding: RoundingResult
+    repairs: int
+
+    @property
+    def lp_ratio(self) -> float:
+        """``active_time / lp_value`` — certified ≤ 9/5 by Lemma 3.3."""
+        if self.lp_value <= 0:
+            return 1.0
+        return self.active_time / self.lp_value
+
+    def summary(self) -> str:
+        return (
+            f"active_time={self.active_time} lp={self.lp_value:.3f} "
+            f"ratio={self.lp_ratio:.3f} (bound {APPROX_FACTOR}) "
+            f"repairs={self.repairs}"
+        )
+
+
+def _repair(
+    canonical: CanonicalInstance, x_tilde: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Open extra slots until the node-level flow accepts ``x̃``.
+
+    Numerical insurance only: raises each node toward its length in
+    depth-descending order (deeper slots serve more job classes).
+    """
+    inst = canonical.instance
+    forest = canonical.forest
+    x = x_tilde.copy()
+    repairs = 0
+    order = sorted(range(forest.m), key=lambda i: -forest.depth[i])
+    while node_assignment(inst, forest, canonical.job_node, x.astype(int)) is None:
+        raised = False
+        for i in order:
+            if x[i] < forest.length(i):
+                x[i] += 1
+                repairs += 1
+                raised = True
+                break
+        if not raised:
+            raise SolverError("repair loop exhausted all slots")
+    return x, repairs
+
+
+def solve_nested(
+    instance: Instance,
+    *,
+    backend: str = "highs",
+    check_feasibility: bool = True,
+    polish: bool = False,
+) -> NestedResult:
+    """Solve a laminar instance with the paper's 9/5-approximation.
+
+    Parameters
+    ----------
+    instance:
+        A laminar instance (raises :class:`NotLaminarError` otherwise).
+    backend:
+        LP backend, ``"highs"`` or ``"simplex"``.
+    check_feasibility:
+        Run the all-slots flow test first and raise
+        :class:`InfeasibleInstanceError` on infeasible input.
+    polish:
+        After rounding, greedily deactivate redundant slots (a
+        minimal-feasible pass seeded with the algorithm's slots).  Never
+        increases the active time, so the 9/5 certificate is preserved;
+        off by default to keep the result the paper's literal algorithm.
+
+    Returns
+    -------
+    :class:`NestedResult` with the schedule (for the *original* instance)
+    and all intermediate artifacts.
+    """
+    instance.require_laminar()
+    if check_feasibility and not all_slots_feasible(instance):
+        raise InfeasibleInstanceError(
+            f"instance {instance.name!r} cannot be scheduled at all"
+        )
+    canonical = canonicalize(instance)
+    lp_sol = solve_nested_lp(canonical, backend=backend)
+    transformed = push_down(canonical.forest, lp_sol.x, lp_sol.y)
+    rounding = round_solution(
+        canonical.forest, transformed.x, transformed.topmost
+    )
+
+    x_tilde = rounding.x_tilde.astype(int)
+    repairs = 0
+    y_int = node_assignment(
+        canonical.instance, canonical.forest, canonical.job_node, x_tilde
+    )
+    if y_int is None:
+        x_repaired, repairs = _repair(canonical, x_tilde)
+        x_tilde = x_repaired.astype(int)
+        y_int = node_assignment(
+            canonical.instance, canonical.forest, canonical.job_node, x_tilde
+        )
+        if y_int is None:  # pragma: no cover - _repair guarantees success
+            raise SolverError("rounded solution infeasible after repair")
+
+    schedule_canon = schedule_from_node_counts(
+        canonical.instance, canonical.forest, canonical.job_node, x_tilde, y_int
+    )
+    # Canonical windows are subsets of the original windows, so the same
+    # assignment is valid for the original instance.
+    schedule = Schedule.from_assignment(instance, schedule_canon.assignment)
+    schedule.require_valid()
+
+    if polish and schedule.active_time > 0:
+        from repro.baselines.minimal_feasible import minimal_feasible_slots
+        from repro.flow.feasibility import extract_schedule
+
+        polished_slots = minimal_feasible_slots(
+            instance, order="given", initial=list(schedule.active_slots)
+        )
+        if len(polished_slots) < schedule.active_time:
+            polished = extract_schedule(instance, polished_slots)
+            assert polished is not None  # slots verified feasible
+            schedule = polished.require_valid()
+
+    return NestedResult(
+        schedule=schedule,
+        active_time=schedule.active_time,
+        lp_value=lp_sol.value,
+        canonical=canonical,
+        lp_solution=lp_sol,
+        transformed=transformed,
+        rounding=rounding,
+        repairs=repairs,
+    )

@@ -1,0 +1,209 @@
+"""Deciding ``OPT_i >= 2`` and ``OPT_i >= 3`` for every tree node.
+
+The strengthened LP's ceiling constraints (7)–(8) need, for each node
+``i``, whether the jobs of ``Des(i)`` can be scheduled in one or two slots.
+The paper notes this "can be done easily"; we implement it exactly:
+
+* ``OPT_i <= 1``  ⇔  all subtree jobs are unit, there are at most ``g`` of
+  them, and their nodes lie on one root-to-leaf chain (then any slot inside
+  the deepest window serves every job).
+* ``OPT_i <= 2``  is decided by cheap lower bounds (volume, max processing
+  time, additivity over disjoint children) followed by enumeration of slot
+  *positions*.  A slot placed at node ``w`` serves exactly the jobs with
+  ``k(j) ∈ Anc(w)``, and ``Anc`` grows along root-to-leaf paths, so deeper
+  placements dominate: it suffices to try pairs of leaves, a leaf doubled
+  (when its interval has two slots), and — for single-leaf chains — a leaf
+  plus its deepest strict ancestor with free length.
+
+Everything is computed bottom-up in one pass; the result is
+``min(OPT_i, 3)`` per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instances.jobs import Job
+from repro.tree.node import WindowForest
+
+
+@dataclass(frozen=True)
+class SubtreeStats:
+    """Aggregates over ``J(Des(i))`` maintained bottom-up."""
+
+    volume: int
+    count: int
+    max_p: int
+    #: deepest job-bearing node if job nodes form an ancestor chain, else None
+    chain_bottom: int | None
+
+
+def _pair_feasible(
+    forest: WindowForest,
+    job_node: dict[int, int],
+    jobs: list[Job],
+    g: int,
+    a: int,
+    b: int,
+) -> bool:
+    """Can ``jobs`` be scheduled on one slot at node ``a`` plus one at ``b``?
+
+    Eligibility of a slot at node ``w`` for job ``j`` is ``k(j) ∈ Anc(w)``,
+    i.e. ``is_ancestor(k(j), w)``.  With two slots the matching condition
+    collapses to three counting inequalities.
+    """
+    n_a_only = n_b_only = n_both_p1 = n_both_p2 = 0
+    for job in jobs:
+        if job.processing > 2:
+            return False
+        kj = job_node[job.id]
+        ea = forest.is_ancestor(kj, a)
+        eb = forest.is_ancestor(kj, b)
+        if job.processing == 2:
+            if not (ea and eb):
+                return False
+            n_both_p2 += 1
+        elif ea and eb:
+            n_both_p1 += 1
+        elif ea:
+            n_a_only += 1
+        elif eb:
+            n_b_only += 1
+        else:
+            return False
+    return (
+        n_a_only + n_both_p2 <= g
+        and n_b_only + n_both_p2 <= g
+        and n_a_only + n_b_only + n_both_p1 + 2 * n_both_p2 <= 2 * g
+    )
+
+
+def _two_slot_candidates(
+    forest: WindowForest, root: int
+) -> list[tuple[int, int]]:
+    """Dominant placements for two slots inside the subtree of ``root``."""
+    leaves = forest.leaves(root)
+    cands: list[tuple[int, int]] = []
+    for ai in range(len(leaves)):
+        for bi in range(ai + 1, len(leaves)):
+            cands.append((leaves[ai], leaves[bi]))
+    for leaf in leaves:
+        if forest.nodes[leaf].interval.length >= 2:
+            cands.append((leaf, leaf))
+        else:
+            # Deepest strict ancestor (within the subtree) with free length.
+            w = forest.parent(leaf)
+            while w is not None and forest.is_ancestor(root, w):
+                if forest.length(w) >= 1:
+                    cands.append((leaf, w))
+                    break
+                if w == root:
+                    break
+                w = forest.parent(w)
+    return cands
+
+
+class OptThresholds:
+    """Computes ``min(OPT_i, 3)`` for every node of a window forest."""
+
+    def __init__(
+        self,
+        forest: WindowForest,
+        job_node: dict[int, int],
+        jobs_by_id: dict[int, Job],
+        g: int,
+    ) -> None:
+        self.forest = forest
+        self.job_node = job_node
+        self.jobs_by_id = jobs_by_id
+        self.g = g
+        self.stats: dict[int, SubtreeStats] = {}
+        self.omega: dict[int, int] = {}  # min(OPT_i, 3)
+        self._compute()
+
+    # -- public view --------------------------------------------------------
+
+    def at_least(self, i: int, k: int) -> bool:
+        """Is ``OPT_i >= k`` (k in {2, 3})?"""
+        if k not in (2, 3):
+            raise ValueError("threshold must be 2 or 3")
+        return self.omega[i] >= k
+
+    def value(self, i: int) -> int:
+        """``min(OPT_i, 3)``."""
+        return self.omega[i]
+
+    # -- computation ---------------------------------------------------------
+
+    def _subtree_jobs(self, i: int) -> list[Job]:
+        out: list[Job] = []
+        for idx in self.forest.descendants(i):
+            out.extend(self.jobs_by_id[j] for j in self.forest.nodes[idx].job_ids)
+        return out
+
+    def _compute(self) -> None:
+        forest = self.forest
+        for i in forest.bottom_up():
+            node = forest.nodes[i]
+            own = [self.jobs_by_id[j] for j in node.job_ids]
+            vol = sum(j.processing for j in own)
+            cnt = len(own)
+            mx = max((j.processing for j in own), default=0)
+            child_omega_sum = 0
+            chain_bottom: int | None = i if own else None
+            chain_ok = True
+            job_bearing_children = 0
+            for c in node.children:
+                cs = self.stats[c]
+                vol += cs.volume
+                cnt += cs.count
+                mx = max(mx, cs.max_p)
+                child_omega_sum += self.omega[c]
+                if cs.count > 0:
+                    job_bearing_children += 1
+                    if cs.chain_bottom is None:
+                        chain_ok = False
+                    elif chain_bottom is None or chain_bottom == i:
+                        chain_bottom = cs.chain_bottom
+                    else:
+                        chain_ok = False
+            if job_bearing_children > 1:
+                chain_ok = False
+            if not chain_ok:
+                chain_bottom = None
+            self.stats[i] = SubtreeStats(
+                volume=vol, count=cnt, max_p=mx, chain_bottom=chain_bottom
+            )
+            self.omega[i] = self._classify(i)
+
+    def _classify(self, i: int) -> int:
+        st = self.stats[i]
+        if st.count == 0:
+            return 0
+        g = self.g
+        # OPT_i <= 1?
+        if st.max_p == 1 and st.count <= g and st.chain_bottom is not None:
+            return 1
+        # Cheap certificates that OPT_i >= 3.
+        if st.max_p >= 3 or st.volume > 2 * g:
+            return 3
+        # Children occupy disjoint regions, so their optima add up.
+        child_sum = sum(self.omega[c] for c in self.forest.nodes[i].children)
+        if child_sum >= 3:
+            return 3
+        # Exact 2-slot test by dominant-placement enumeration.
+        jobs = self._subtree_jobs(i)
+        for a, b in _two_slot_candidates(self.forest, i):
+            if _pair_feasible(self.forest, self.job_node, jobs, g, a, b):
+                return 2
+        return 3
+
+
+def compute_thresholds(
+    forest: WindowForest,
+    job_node: dict[int, int],
+    jobs_by_id: dict[int, Job],
+    g: int,
+) -> OptThresholds:
+    """Convenience constructor for :class:`OptThresholds`."""
+    return OptThresholds(forest, job_node, jobs_by_id, g)

@@ -1,0 +1,114 @@
+"""Algorithm 1: rounding the transformed LP solution.
+
+Start from ``x̃(i) = ⌊x(i)⌋`` on the topmost-positive set ``I`` (all other
+nodes are already integral after the transformation: fully open below
+``I``, zero above).  Then walk ``Anc(I)`` bottom-to-top and, while the
+subtree budget ``(9/5)·x(Des(i))`` affords it, round floored nodes in the
+subtree up to ``⌈x⌉``.  Lemma 3.3 gives ``x̃([m]) ≤ (9/5)·x([m])``;
+Section 4 proves the result is feasible on canonical trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, floor
+
+import numpy as np
+
+from repro.tree.node import WindowForest
+from repro.util.numeric import EPS, SUM_EPS
+
+#: The approximation factor of the paper.
+APPROX_FACTOR = 9.0 / 5.0
+
+
+@dataclass
+class RoundingResult:
+    """Output of Algorithm 1.
+
+    Attributes
+    ----------
+    x_tilde:
+        Integral open-slot counts per node.
+    topmost:
+        The set ``I`` the rounding operated on.
+    rounded_up:
+        Nodes of ``I`` whose value was raised to the ceiling.
+    budget_ok:
+        Whether ``Σ x̃ ≤ (9/5)·Σ x`` (Lemma 3.3; always true by
+        construction, re-checked defensively).
+    """
+
+    x_tilde: np.ndarray
+    topmost: list[int]
+    rounded_up: list[int]
+    budget_ok: bool
+
+    @property
+    def total(self) -> int:
+        return int(self.x_tilde.sum())
+
+
+def round_solution(
+    forest: WindowForest, x: np.ndarray, topmost: list[int]
+) -> RoundingResult:
+    """Run Algorithm 1 on a transformed solution.
+
+    ``x`` must satisfy the Lemma 3.1 invariant; ``topmost`` is its set
+    ``I``.  Fractional values occur only on ``I`` (integral elsewhere).
+    """
+    m = forest.m
+    x_tilde = np.empty(m, dtype=float)
+    tops = set(topmost)
+    for i in range(m):
+        x_tilde[i] = floor(x[i] + EPS) if i in tops else round(x[i])
+
+    # Anc(I): every node with an I-node in its subtree (I-nodes included).
+    anc_of_i: set[int] = set()
+    for i in topmost:
+        anc_of_i.update(forest.ancestors(i))
+
+    rounded_up: list[int] = []
+    # Bottom-to-top = postorder restricted to Anc(I).
+    for i in forest.postorder:
+        if i not in anc_of_i:
+            continue
+        des = forest.descendants(i)
+        x_sum = float(x[des].sum())
+        while APPROX_FACTOR * x_sum >= float(x_tilde[des].sum()) + 1.0 - SUM_EPS:
+            candidate = next(
+                (k for k in des if k in tops and x_tilde[k] < x[k] - EPS), None
+            )
+            if candidate is None:
+                break
+            x_tilde[candidate] = ceil(x[candidate] - EPS)
+            rounded_up.append(candidate)
+
+    budget_ok = float(x_tilde.sum()) <= APPROX_FACTOR * float(x.sum()) + SUM_EPS
+    return RoundingResult(
+        x_tilde=x_tilde,
+        topmost=list(topmost),
+        rounded_up=rounded_up,
+        budget_ok=budget_ok,
+    )
+
+
+def classify_topmost(
+    forest: WindowForest, x: np.ndarray, x_tilde: np.ndarray, topmost: list[int]
+) -> dict[int, str]:
+    """Type each ``I``-node per Section 4.2: ``B``, ``C1`` or ``C2``.
+
+    * type-B:   ``x(Des(i)) ∈ {1} ∪ [4/3, ∞)``
+    * type-C:   ``x(Des(i)) ∈ (1, 4/3)``; split by the rounded subtree sum
+      ``x̃(Des(i))`` into C1 (= 1) and C2 (= 2).
+    """
+    types: dict[int, str] = {}
+    for i in topmost:
+        des = forest.descendants(i)
+        xs = float(x[des].sum())
+        if abs(xs - 1.0) <= SUM_EPS or xs >= 4.0 / 3.0 - SUM_EPS:
+            types[i] = "B"
+        else:
+            xt = float(x_tilde[des].sum())
+            types[i] = "C1" if xt < 1.5 else "C2"
+    return types

@@ -1,0 +1,122 @@
+"""Schedule representation and independent validation.
+
+A :class:`Schedule` assigns jobs to concrete integer slots.  Validation is
+deliberately independent of every solver: it re-checks windows, per-slot
+capacity, and per-job volume straight from the instance definition, so any
+solver bug surfaces here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.instances.jobs import Instance
+from repro.util.errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An assignment of jobs to slots.
+
+    Attributes
+    ----------
+    instance:
+        The instance this schedule is for.
+    assignment:
+        Maps job id to the sorted tuple of slots the job runs in.
+    """
+
+    instance: Instance
+    assignment: Mapping[int, tuple[int, ...]]
+
+    _slot_loads: dict[int, int] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        loads: dict[int, int] = {}
+        for slots in self.assignment.values():
+            for t in slots:
+                loads[t] = loads.get(t, 0) + 1
+        object.__setattr__(self, "_slot_loads", loads)
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def active_slots(self) -> tuple[int, ...]:
+        """Slots with at least one job scheduled, sorted."""
+        return tuple(sorted(self._slot_loads))
+
+    @property
+    def active_time(self) -> int:
+        """The objective value: number of active slots."""
+        return len(self._slot_loads)
+
+    def load(self, t: int) -> int:
+        """Number of jobs running in slot ``t``."""
+        return self._slot_loads.get(t, 0)
+
+    def utilization(self) -> float:
+        """Average fraction of capacity used over active slots."""
+        if not self._slot_loads:
+            return 0.0
+        g = self.instance.g
+        return sum(self._slot_loads.values()) / (g * len(self._slot_loads))
+
+    # -- validation ----------------------------------------------------------
+
+    def violations(self) -> list[str]:
+        """All constraint violations (empty list means valid)."""
+        problems: list[str] = []
+        scheduled = set(self.assignment)
+        for job in self.instance.jobs:
+            slots = self.assignment.get(job.id, ())
+            if job.id not in scheduled:
+                problems.append(f"job {job.id} missing from assignment")
+                continue
+            if len(set(slots)) != len(slots):
+                problems.append(f"job {job.id} repeats a slot")
+            if len(slots) != job.processing:
+                problems.append(
+                    f"job {job.id} got {len(slots)} slots, needs {job.processing}"
+                )
+            for t in slots:
+                if not (job.release <= t < job.deadline):
+                    problems.append(
+                        f"job {job.id} scheduled at {t} outside "
+                        f"[{job.release},{job.deadline})"
+                    )
+        extra = scheduled - {j.id for j in self.instance.jobs}
+        for jid in sorted(extra):
+            problems.append(f"assignment mentions unknown job {jid}")
+        for t, load in sorted(self._slot_loads.items()):
+            if load > self.instance.g:
+                problems.append(
+                    f"slot {t} runs {load} jobs, capacity is {self.instance.g}"
+                )
+        return problems
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.violations()
+
+    def require_valid(self) -> "Schedule":
+        problems = self.violations()
+        if problems:
+            raise InvalidInstanceError(
+                "invalid schedule: " + "; ".join(problems[:5])
+            )
+        return self
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def from_assignment(
+        instance: Instance, assignment: Mapping[int, Iterable[int]]
+    ) -> "Schedule":
+        """Normalize an assignment mapping into a :class:`Schedule`."""
+        normalized = {
+            jid: tuple(sorted(slots)) for jid, slots in assignment.items()
+        }
+        return Schedule(instance=instance, assignment=normalized)

@@ -1,0 +1,121 @@
+"""Lemma 3.1: push fractional open slots down the tree.
+
+Given a feasible LP solution ``(x, y)``, repeatedly move open mass from a
+node to an unsaturated strict descendant (moving each job's assignment
+proportionally) until the invariant holds:
+
+    if any strict descendant of ``i`` has ``x < L``, then ``x(i) = 0``.
+
+Afterwards the *topmost positive* nodes ``I`` satisfy Claim 1: pairwise
+incomparable, all leaves below them, everything strictly below fully open,
+everything strictly above zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tree.node import WindowForest
+from repro.util.numeric import EPS, snap_vector
+
+
+@dataclass
+class TransformedLP:
+    """LP solution after the Lemma 3.1 transformation.
+
+    Attributes
+    ----------
+    x, y:
+        The transformed solution (same objective value as the input).
+    topmost:
+        The set ``I``: topmost nodes with ``x > 0``.
+    moves:
+        Number of push-down operations performed.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    topmost: list[int]
+    moves: int
+
+
+def push_down(
+    forest: WindowForest, x: np.ndarray, y: np.ndarray
+) -> TransformedLP:
+    """Apply the Lemma 3.1 transformation (in a fresh copy).
+
+    One preorder pass suffices: when node ``i1`` is processed, its mass is
+    pushed into unsaturated strict descendants until ``x(i1) = 0`` or all
+    are saturated; mass only ever moves downward, and a node that keeps
+    mass has a fully saturated subtree, so no later step re-violates it.
+    """
+    x = x.astype(float).copy()
+    y = y.astype(float).copy()
+    lengths = np.array([forest.length(i) for i in range(forest.m)], dtype=float)
+    moves = 0
+    for i1 in forest.preorder:
+        if x[i1] <= EPS:
+            continue
+        # Deepest-first so mass lands as low as possible.
+        for i2 in sorted(
+            forest.strict_descendants(i1), key=lambda k: -forest.depth[k]
+        ):
+            if x[i1] <= EPS:
+                break
+            slack = lengths[i2] - x[i2]
+            if slack <= EPS:
+                continue
+            theta = min(slack, x[i1])
+            frac = theta / x[i1]
+            moved = frac * y[i1, :]
+            y[i1, :] -= moved
+            y[i2, :] += moved
+            x[i1] -= theta
+            x[i2] += theta
+            moves += 1
+    x = snap_vector(x)
+    y[np.abs(y) < EPS] = 0.0
+    topmost = [
+        i
+        for i in range(forest.m)
+        if x[i] > EPS
+        and all(x[a] <= EPS for a in forest.strict_ancestors(i))
+    ]
+    return TransformedLP(x=x, y=y, topmost=topmost, moves=moves)
+
+
+def verify_pushdown_invariant(forest: WindowForest, x: np.ndarray) -> bool:
+    """Check the Lemma 3.1 property on a solution."""
+    for i1 in range(forest.m):
+        if x[i1] <= EPS:
+            continue
+        for i2 in forest.strict_descendants(i1):
+            if x[i2] < forest.length(i2) - EPS:
+                return False
+    return True
+
+
+def verify_claim1(forest: WindowForest, x: np.ndarray, topmost: list[int]) -> list[str]:
+    """Check properties (1a)–(1e) of Claim 1; returns violations."""
+    problems: list[str] = []
+    tops = set(topmost)
+    for i in topmost:
+        for a in forest.strict_ancestors(i):
+            if a in tops:
+                problems.append(f"(1a) {a} is a strict ancestor of {i} in I")
+            if x[a] > EPS:
+                problems.append(f"(1e) strict ancestor {a} of {i} has x > 0")
+        if x[i] <= EPS:
+            problems.append(f"(1c) node {i} in I has x = 0")
+        for d in forest.strict_descendants(i):
+            if abs(x[d] - forest.length(d)) > EPS:
+                problems.append(f"(1d) descendant {d} of {i} not fully open")
+    covered = set()
+    for i in topmost:
+        covered.update(forest.descendants(i))
+    for leaf in forest.leaves():
+        if leaf not in covered:
+            problems.append(f"(1b) leaf {leaf} outside Des(I)")
+    return problems

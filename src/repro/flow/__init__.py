@@ -1,0 +1,22 @@
+"""Max-flow substrate and flow-based feasibility tests."""
+
+from repro.flow.assignment import schedule_from_node_counts, spread_units
+from repro.flow.dinic import MaxFlow
+from repro.flow.feasibility import (
+    all_slots_feasible,
+    extract_schedule,
+    node_assignment,
+    node_feasible,
+    slot_feasible,
+)
+
+__all__ = [
+    "MaxFlow",
+    "slot_feasible",
+    "extract_schedule",
+    "all_slots_feasible",
+    "node_feasible",
+    "node_assignment",
+    "spread_units",
+    "schedule_from_node_counts",
+]

@@ -1,0 +1,145 @@
+"""Flow-based feasibility tests and schedule extraction.
+
+Two levels of granularity:
+
+* **Slot level** — given an arbitrary set of active slots, build the
+  bipartite network ``s → jobs → slots → t`` with capacities
+  ``(p_j, 1, g)`` and test ``maxflow == Σ p_j`` (the classic reduction
+  mentioned in the paper's introduction; works for *any* instance,
+  laminar or not).
+* **Node level** — given a per-node open-slot count ``x̃`` on the window
+  forest, build the paper's Lemma 4.1 network ``s → jobs → nodes → t``
+  with capacities ``(p_j, x̃(i), g·x̃(i))``.  Equivalent to slot level for
+  laminar instances because slots in a node's exclusive region are
+  interchangeable, and much smaller.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.schedule import Schedule
+from repro.flow.dinic import MaxFlow
+from repro.instances.jobs import Instance
+from repro.tree.node import WindowForest
+
+
+# ---------------------------------------------------------------------------
+# Slot level
+# ---------------------------------------------------------------------------
+
+
+def _slot_network(
+    instance: Instance, active: Sequence[int]
+) -> tuple[MaxFlow, dict[tuple[int, int], int], int, int]:
+    """Build the job/slot network; returns (net, job-slot edge ids, s, t)."""
+    slots = sorted(set(active))
+    slot_pos = {t: k for k, t in enumerate(slots)}
+    n_jobs = instance.n
+    source = n_jobs + len(slots)
+    sink = source + 1
+    net = MaxFlow(sink + 1)
+    edge_ids: dict[tuple[int, int], int] = {}
+    for k, job in enumerate(instance.jobs):
+        net.add_edge(source, k, job.processing)
+        for t in range(job.release, job.deadline):
+            pos = slot_pos.get(t)
+            if pos is not None:
+                edge_ids[(job.id, t)] = net.add_edge(k, n_jobs + pos, 1)
+    for pos in range(len(slots)):
+        net.add_edge(n_jobs + pos, sink, instance.g)
+    return net, edge_ids, source, sink
+
+
+def slot_feasible(instance: Instance, active: Sequence[int]) -> bool:
+    """Can all jobs be scheduled using only the given active slots?"""
+    if instance.n == 0:
+        return True
+    net, _, s, t = _slot_network(instance, active)
+    return net.max_flow(s, t) == instance.total_volume
+
+
+def extract_schedule(
+    instance: Instance, active: Sequence[int]
+) -> Schedule | None:
+    """A concrete schedule over the given slots, or ``None`` if infeasible."""
+    if instance.n == 0:
+        return Schedule.from_assignment(instance, {})
+    net, edge_ids, s, t = _slot_network(instance, active)
+    if net.max_flow(s, t) != instance.total_volume:
+        return None
+    assignment: dict[int, list[int]] = {j.id: [] for j in instance.jobs}
+    for (jid, slot), eid in edge_ids.items():
+        if net.edge_flow(eid) > 0.5:
+            assignment[jid].append(slot)
+    return Schedule.from_assignment(instance, assignment)
+
+
+def all_slots_feasible(instance: Instance) -> bool:
+    """Is the instance feasible at all (every slot active)?"""
+    return slot_feasible(instance, list(instance.slots()))
+
+
+# ---------------------------------------------------------------------------
+# Node level (Lemma 4.1)
+# ---------------------------------------------------------------------------
+
+
+def _node_network(
+    instance: Instance,
+    forest: WindowForest,
+    job_node: Mapping[int, int],
+    x: Sequence[int],
+) -> tuple[MaxFlow, dict[tuple[int, int], int], int, int]:
+    """Lemma 4.1 network: ``s → jobs → nodes → t``.
+
+    A job ``j`` may use nodes in ``Des(k(j))`` with per-node cap ``x(i)``;
+    node ``i`` forwards at most ``g·x(i)`` to the sink.
+    """
+    n_jobs = instance.n
+    m = forest.m
+    source = n_jobs + m
+    sink = source + 1
+    net = MaxFlow(sink + 1)
+    edge_ids: dict[tuple[int, int], int] = {}
+    for k, job in enumerate(instance.jobs):
+        net.add_edge(source, k, job.processing)
+        for i in forest.descendants(job_node[job.id]):
+            if x[i] > 0:
+                edge_ids[(i, job.id)] = net.add_edge(k, n_jobs + i, x[i])
+    for i in range(m):
+        if x[i] > 0:
+            net.add_edge(n_jobs + i, sink, instance.g * x[i])
+    return net, edge_ids, source, sink
+
+
+def node_feasible(
+    instance: Instance,
+    forest: WindowForest,
+    job_node: Mapping[int, int],
+    x: Sequence[int],
+) -> bool:
+    """Is the per-node open-slot vector ``x`` feasible (Lemma 4.1)?"""
+    if instance.n == 0:
+        return True
+    net, _, s, t = _node_network(instance, forest, job_node, x)
+    return net.max_flow(s, t) == instance.total_volume
+
+
+def node_assignment(
+    instance: Instance,
+    forest: WindowForest,
+    job_node: Mapping[int, int],
+    x: Sequence[int],
+) -> dict[tuple[int, int], int] | None:
+    """Integral per-(node, job) units ``y(i, j)``, or ``None`` if infeasible."""
+    if instance.n == 0:
+        return {}
+    net, edge_ids, s, t = _node_network(instance, forest, job_node, x)
+    if net.max_flow(s, t) != instance.total_volume:
+        return None
+    return {
+        key: int(round(net.edge_flow(eid)))
+        for key, eid in edge_ids.items()
+        if net.edge_flow(eid) > 0.5
+    }

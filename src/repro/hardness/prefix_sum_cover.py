@@ -1,0 +1,99 @@
+"""Prefix sum cover — the intermediate problem of Section 6.
+
+Given vectors ``u_1..u_n ∈ N_+^d`` and a target ``v ∈ N^d`` (all
+coordinate-wise *nonincreasing*, per the restricted version the paper's
+reduction needs) and ``k``, choose a multiset of ``k`` vectors whose sum
+``S`` satisfies ``S ≺ v``, i.e. every prefix sum of ``S`` is at least the
+corresponding prefix sum of ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+
+
+def prefix_dominates(s: tuple[int, ...], v: tuple[int, ...]) -> bool:
+    """The paper's ``s ≺ v``: every prefix sum of ``s`` ≥ that of ``v``."""
+    if len(s) != len(v):
+        raise ValueError("dimension mismatch")
+    ps = pv = 0
+    for a, b in zip(s, v):
+        ps += a
+        pv += b
+        if ps < pv:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PrefixSumCoverInstance:
+    """The restricted prefix sum cover problem."""
+
+    vectors: tuple[tuple[int, ...], ...]
+    target: tuple[int, ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        d = len(self.target)
+        if d < 1:
+            raise ValueError("dimension must be >= 1")
+        for u in self.vectors:
+            if len(u) != d:
+                raise ValueError("vector dimension mismatch")
+            if any(x < 1 for x in u):
+                raise ValueError("vectors must be strictly positive")
+            if any(u[j] < u[j + 1] for j in range(d - 1)):
+                raise ValueError("vectors must be nonincreasing")
+        if any(x < 0 for x in self.target):
+            raise ValueError("target must be nonnegative")
+        if any(
+            self.target[j] < self.target[j + 1] for j in range(d - 1)
+        ):
+            raise ValueError("target must be nonincreasing")
+        if self.k < 0:
+            raise ValueError("k must be nonnegative")
+
+    @property
+    def d(self) -> int:
+        return len(self.target)
+
+    @property
+    def n(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def max_scalar(self) -> int:
+        """``W``: the largest value appearing in the vectors or target."""
+        values = [x for u in self.vectors for x in u] + list(self.target)
+        return max(values) if values else 0
+
+    def check(self, chosen: tuple[int, ...]) -> bool:
+        """Verify a candidate solution (indices, repeats allowed)."""
+        if len(chosen) > self.k:
+            return False
+        total = [0] * self.d
+        for idx in chosen:
+            for j, x in enumerate(self.vectors[idx]):
+                total[j] += x
+        return prefix_dominates(tuple(total), self.target)
+
+
+def brute_force_psc(
+    instance: PrefixSumCoverInstance,
+) -> tuple[int, ...] | None:
+    """Smallest solution (as a sorted index multiset) or ``None``.
+
+    Vectors are strictly positive, so adding vectors never hurts; still we
+    search sizes 0..k to return a smallest witness.
+    """
+    for size in range(0, instance.k + 1):
+        for combo in combinations_with_replacement(range(instance.n), size):
+            if instance.check(combo):
+                return combo
+    return None
+
+
+def psc_decision(instance: PrefixSumCoverInstance) -> bool:
+    """Is the target prefix-dominated by some ≤ k multiset?"""
+    return brute_force_psc(instance) is not None

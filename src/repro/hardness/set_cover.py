@@ -1,0 +1,65 @@
+"""Set cover: the source problem of the Section 6 reduction chain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """Cover universe ``{0, .., d-1}`` with at most ``k`` of the given sets."""
+
+    universe_size: int
+    sets: tuple[frozenset[int], ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.universe_size < 1:
+            raise ValueError("universe must be nonempty")
+        if self.k < 0:
+            raise ValueError("k must be nonnegative")
+        for s in self.sets:
+            if any(e < 0 or e >= self.universe_size for e in s):
+                raise ValueError("set element outside universe")
+
+    @property
+    def n(self) -> int:
+        return len(self.sets)
+
+    def covers(self, chosen: tuple[int, ...]) -> bool:
+        """Do the chosen set indices cover the universe?"""
+        covered: set[int] = set()
+        for idx in chosen:
+            covered |= self.sets[idx]
+        return len(covered) == self.universe_size
+
+
+def brute_force_set_cover(instance: SetCoverInstance) -> tuple[int, ...] | None:
+    """Smallest cover of size ≤ k by exhaustive search, or None."""
+    for size in range(0, instance.k + 1):
+        for combo in combinations(range(instance.n), size):
+            if instance.covers(combo):
+                return combo
+    return None
+
+
+def set_cover_decision(instance: SetCoverInstance) -> bool:
+    """Is the universe coverable with at most ``k`` sets?"""
+    return brute_force_set_cover(instance) is not None
+
+
+def greedy_set_cover(instance: SetCoverInstance) -> tuple[int, ...]:
+    """The classic ln(d)-approximation (ignores ``k``)."""
+    uncovered = set(range(instance.universe_size))
+    chosen: list[int] = []
+    while uncovered:
+        best = max(
+            range(instance.n), key=lambda i: len(instance.sets[i] & uncovered)
+        )
+        gain = instance.sets[best] & uncovered
+        if not gain:
+            raise ValueError("universe not coverable by the given sets")
+        chosen.append(best)
+        uncovered -= gain
+    return tuple(chosen)

@@ -1,0 +1,74 @@
+"""Instance model, generators, named families, serialization."""
+
+from repro.instances.families import (
+    ALL_FAMILIES,
+    batched_groups,
+    greedy_trap,
+    natural_gap,
+    natural_gap_predictions,
+    rigid_chain,
+    section5_gap,
+    section5_predictions,
+    two_level,
+)
+from repro.instances.handcrafted import (
+    CraftedSolution,
+    even_spread_solution,
+    umbrella_groups,
+    verify_lp_feasible,
+)
+from repro.instances.generators import (
+    deep_chain,
+    laminar_suite,
+    random_general,
+    random_laminar,
+    random_unit_laminar,
+    wide_star,
+)
+from repro.instances.io import (
+    dump_instance,
+    dump_schedule,
+    dumps_instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    loads_instance,
+)
+from repro.instances.jobs import Instance, Job
+from repro.instances.transforms import merge, normalize, split_independent
+
+__all__ = [
+    "Job",
+    "Instance",
+    "random_laminar",
+    "random_general",
+    "random_unit_laminar",
+    "deep_chain",
+    "wide_star",
+    "laminar_suite",
+    "section5_gap",
+    "section5_predictions",
+    "natural_gap",
+    "natural_gap_predictions",
+    "rigid_chain",
+    "batched_groups",
+    "greedy_trap",
+    "two_level",
+    "umbrella_groups",
+    "even_spread_solution",
+    "verify_lp_feasible",
+    "CraftedSolution",
+    "ALL_FAMILIES",
+    "dump_instance",
+    "load_instance",
+    "dumps_instance",
+    "loads_instance",
+    "instance_to_dict",
+    "instance_from_dict",
+    "dump_schedule",
+    "load_schedule",
+    "normalize",
+    "split_independent",
+    "merge",
+]

@@ -1,0 +1,158 @@
+"""Named parametric instance families from the paper and its citations.
+
+Each family is a deterministic constructor with documented provenance and
+the analytic values (LP optimum, integral optimum) it was designed to
+exhibit, so benchmarks can compare measured against predicted.
+"""
+
+from __future__ import annotations
+
+from repro.instances.jobs import Instance, Job
+
+
+def section5_gap(g: int) -> Instance:
+    """Lemma 5.1 instance: strengthened-LP gap ``≥ 3/2`` on nested windows.
+
+    One long job with ``p = g`` and window ``[0, 2g)``, plus ``g`` groups of
+    ``g`` unit jobs, group ``i`` confined to ``[2i, 2i + 2)``.
+
+    Analytic values (paper): fractional optimum ``≤ g + 2`` (both for the
+    paper's LP and Călinescu–Wang's), integral optimum ``g + ⌈g/2⌉``, so the
+    gap tends to ``3/2``.
+    """
+    if g < 1:
+        raise ValueError("g must be >= 1")
+    jobs: list[Job] = [Job(id=0, release=0, deadline=2 * g, processing=g)]
+    jid = 1
+    for i in range(g):
+        for _ in range(g):
+            jobs.append(
+                Job(id=jid, release=2 * i, deadline=2 * i + 2, processing=1)
+            )
+            jid += 1
+    return Instance(jobs=tuple(jobs), g=g, name=f"section5_gap(g={g})")
+
+
+def section5_predictions(g: int) -> dict[str, float]:
+    """Paper-predicted values for :func:`section5_gap`."""
+    opt = g + -(-g // 2)  # g + ceil(g/2)
+    return {
+        "fractional_upper": g + 2,
+        "integral_opt": opt,
+        "gap_lower": opt / (g + 2),
+        "gap_limit": 1.5,
+    }
+
+
+def natural_gap(g: int, copies: int = 1) -> Instance:
+    """The 'simple nested example' with natural-LP gap ``→ 2`` ([3]).
+
+    Each copy is ``g + 1`` unit jobs sharing the window ``[2c, 2c + 2)``.
+    The natural LP opens each slot to ``(g+1)/(2g)`` for value
+    ``(g+1)/g`` per copy; any integral solution needs both slots (volume
+    ``g + 1 > g``), so the gap is ``2g/(g+1) → 2``.  The strengthened LP
+    closes the gap entirely here: ``OPT_i ≥ 2`` forces two slots.
+    """
+    if g < 1:
+        raise ValueError("g must be >= 1")
+    jobs: list[Job] = []
+    jid = 0
+    for c in range(copies):
+        for _ in range(g + 1):
+            jobs.append(
+                Job(id=jid, release=2 * c, deadline=2 * c + 2, processing=1)
+            )
+            jid += 1
+    return Instance(jobs=tuple(jobs), g=g, name=f"natural_gap(g={g},c={copies})")
+
+
+def natural_gap_predictions(g: int, copies: int = 1) -> dict[str, float]:
+    """Analytic values for :func:`natural_gap`."""
+    return {
+        "natural_lp": copies * (g + 1) / g,
+        "integral_opt": copies * 2,
+        "gap": 2 * g / (g + 1),
+        "strengthened_lp": copies * 2.0,
+    }
+
+
+def rigid_chain(depth: int, g: int | None = None) -> Instance:
+    """A chain of nested rigid jobs: level ``k`` fills ``[0, depth - k)``.
+
+    Every window must be fully open; OPT equals ``depth`` (the outermost
+    window length).  Stresses deep trees with zero slack.  Slot 0 carries
+    all ``depth`` jobs, so the capacity defaults to ``depth``.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if g is None:
+        g = depth
+    if g < depth:
+        raise ValueError(f"slot 0 hosts {depth} jobs; needs g >= {depth}")
+    jobs = tuple(
+        Job(id=k, release=0, deadline=depth - k, processing=depth - k)
+        for k in range(depth)
+    )
+    return Instance(jobs=jobs, g=g, name=f"rigid_chain(depth={depth})")
+
+
+def batched_groups(n_groups: int, g: int, jobs_per_group: int | None = None) -> Instance:
+    """Disjoint groups of unit jobs, each fitting exactly one slot.
+
+    OPT is ``n_groups``; a sanity family where every reasonable algorithm
+    should be optimal.
+    """
+    k = jobs_per_group if jobs_per_group is not None else g
+    if k > g:
+        raise ValueError("group would not fit a single slot")
+    jobs: list[Job] = []
+    jid = 0
+    for i in range(n_groups):
+        for _ in range(k):
+            jobs.append(Job(id=jid, release=2 * i, deadline=2 * i + 2, processing=1))
+            jid += 1
+    return Instance(jobs=tuple(jobs), g=g, name=f"batched_groups({n_groups},{g})")
+
+
+def greedy_trap(g: int) -> Instance:
+    """A family where careless deactivation order is strictly suboptimal.
+
+    A long job with ``p = g`` spanning ``[0, 2g)`` plus one unit job pinned
+    to each even slot ``[2i, 2i+1)``.  Opening exactly the ``g`` pinned
+    slots is optimal (the long job rides along one unit per pinned slot when
+    capacity allows), but a greedy pass that deactivates pinned-adjacent
+    slots first can strand the long job and keep extra slots open.
+    """
+    if g < 2:
+        raise ValueError("needs g >= 2")
+    jobs: list[Job] = [Job(id=0, release=0, deadline=2 * g, processing=g)]
+    for i in range(g):
+        jobs.append(Job(id=i + 1, release=2 * i, deadline=2 * i + 1, processing=1))
+    return Instance(jobs=tuple(jobs), g=g, name=f"greedy_trap(g={g})")
+
+
+def two_level(g: int, inner: int) -> Instance:
+    """An umbrella job over ``inner`` rigid single-slot groups.
+
+    Umbrella job: ``p = inner``, window ``[0, 2*inner)``.  Group ``i``: ``g``
+    unit jobs pinned to slot ``[2i, 2i+1)``.  OPT opens the ``inner`` pinned
+    slots only when the umbrella fits into leftover capacity, i.e. never for
+    full groups — a compact stress case for the ceiling constraints.
+    """
+    jobs: list[Job] = [Job(id=0, release=0, deadline=2 * inner, processing=inner)]
+    jid = 1
+    for i in range(inner):
+        for _ in range(g):
+            jobs.append(Job(id=jid, release=2 * i, deadline=2 * i + 1, processing=1))
+            jid += 1
+    return Instance(jobs=tuple(jobs), g=g, name=f"two_level(g={g},inner={inner})")
+
+
+ALL_FAMILIES = {
+    "section5_gap": section5_gap,
+    "natural_gap": natural_gap,
+    "rigid_chain": rigid_chain,
+    "batched_groups": batched_groups,
+    "greedy_trap": greedy_trap,
+    "two_level": two_level,
+}

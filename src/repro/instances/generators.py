@@ -1,0 +1,212 @@
+"""Random instance generators (laminar and general).
+
+All generators are deterministic given a seed and guarantee *feasibility*
+(a schedule exists when every slot is active): after sampling, jobs are
+greedily dropped from overloaded regions until the flow test passes.  The
+drop step is rarely triggered because sampling already respects volume
+heuristics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.flow.feasibility import all_slots_feasible
+from repro.instances.jobs import Instance, Job
+from repro.util.intervals import Interval
+
+
+def _sample_laminar_windows(
+    rng: random.Random,
+    horizon: int,
+    target_windows: int,
+    max_children: int,
+) -> list[Interval]:
+    """Sample a laminar family by recursive partitioning of ``[0, horizon)``.
+
+    Each window spawns a few disjoint child windows strictly inside it; the
+    recursion stops when windows get short or the target count is reached.
+    """
+    root = Interval(0, horizon)
+    windows: list[Interval] = [root]
+    frontier: list[Interval] = [root]
+    while frontier and len(windows) < target_windows:
+        parent = frontier.pop(rng.randrange(len(frontier)))
+        if parent.length < 2:
+            continue
+        k = rng.randint(1, max_children)
+        # Cut the parent into k disjoint sub-windows separated by gaps.
+        cursor = parent.start
+        for _ in range(k):
+            remaining = parent.end - cursor
+            if remaining < 1:
+                break
+            gap = rng.randint(0, max(0, remaining // 4))
+            start = cursor + gap
+            if start >= parent.end:
+                break
+            max_len = parent.end - start
+            length = rng.randint(1, max_len)
+            # Avoid duplicating the parent window exactly.
+            if start == parent.start and length == parent.length:
+                length = max(1, length - 1)
+                if length == parent.length:
+                    break
+            child = Interval(start, start + length)
+            windows.append(child)
+            frontier.append(child)
+            cursor = child.end
+            if len(windows) >= target_windows:
+                break
+    return windows
+
+
+def _drop_until_feasible(jobs: list[Job], g: int, name: str) -> Instance:
+    """Drop highest-volume jobs until the all-slots flow test passes."""
+    jobs = sorted(jobs, key=lambda j: (j.slack, -j.processing))
+    while jobs:
+        inst = Instance(jobs=tuple(jobs), g=g, name=name)
+        if all_slots_feasible(inst):
+            return inst.renumbered()
+        jobs.pop(0)  # tightest job goes first
+    raise AssertionError("even the empty instance failed feasibility")
+
+
+def random_laminar(
+    n_jobs: int,
+    g: int,
+    *,
+    horizon: int = 40,
+    n_windows: int | None = None,
+    max_children: int = 3,
+    p_max: int | None = None,
+    unit_fraction: float = 0.0,
+    seed: int = 0,
+) -> Instance:
+    """A random feasible laminar instance.
+
+    Parameters
+    ----------
+    n_jobs, g:
+        Number of jobs and batch capacity.
+    horizon:
+        Length of the outermost window.
+    n_windows:
+        Distinct windows to sample (default ``max(2, n_jobs // 2)``).
+    max_children:
+        Fan-out of the recursive window partitioner.
+    p_max:
+        Cap on processing times (default: window length).
+    unit_fraction:
+        Fraction of jobs forced to unit processing time.
+    seed:
+        RNG seed; same seed, same instance.
+    """
+    if n_jobs < 1:
+        raise ValueError("need at least one job")
+    rng = random.Random(seed)
+    windows = _sample_laminar_windows(
+        rng, horizon, n_windows or max(2, n_jobs // 2), max_children
+    )
+    jobs: list[Job] = []
+    for k in range(n_jobs):
+        w = rng.choice(windows)
+        if rng.random() < unit_fraction:
+            p = 1
+        else:
+            cap = w.length if p_max is None else min(p_max, w.length)
+            p = rng.randint(1, cap)
+        jobs.append(Job(id=k, release=w.start, deadline=w.end, processing=p))
+    return _drop_until_feasible(jobs, g, name=f"random_laminar(seed={seed})")
+
+
+def random_general(
+    n_jobs: int,
+    g: int,
+    *,
+    horizon: int = 40,
+    p_max: int = 5,
+    seed: int = 0,
+) -> Instance:
+    """A random feasible instance with arbitrary (possibly crossing) windows."""
+    if n_jobs < 1:
+        raise ValueError("need at least one job")
+    rng = random.Random(seed)
+    jobs: list[Job] = []
+    for k in range(n_jobs):
+        p = rng.randint(1, p_max)
+        start = rng.randint(0, max(0, horizon - p - 1))
+        end = rng.randint(start + p, min(horizon, start + p + horizon // 2))
+        jobs.append(Job(id=k, release=start, deadline=end, processing=p))
+    return _drop_until_feasible(jobs, g, name=f"random_general(seed={seed})")
+
+
+def random_unit_laminar(
+    n_jobs: int, g: int, *, horizon: int = 40, seed: int = 0, **kw
+) -> Instance:
+    """Random laminar instance with all-unit jobs (poly-solvable case [2])."""
+    return random_laminar(
+        n_jobs, g, horizon=horizon, unit_fraction=1.0, seed=seed, **kw
+    )
+
+
+def deep_chain(
+    depth: int, g: int, *, slots_per_level: int = 2, seed: int = 0
+) -> Instance:
+    """A nested chain of windows, one job per level — deep skinny tree.
+
+    Level ``k`` has window ``[0, slots_per_level * (depth - k))`` and a job
+    whose processing time is sampled within the innermost window length.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    rng = random.Random(seed)
+    jobs: list[Job] = []
+    for k in range(depth):
+        end = slots_per_level * (depth - k)
+        p = rng.randint(1, max(1, min(end, slots_per_level)))
+        jobs.append(Job(id=k, release=0, deadline=end, processing=p))
+    return _drop_until_feasible(jobs, g, name=f"deep_chain(depth={depth})")
+
+
+def wide_star(
+    n_groups: int, g: int, *, group_width: int = 3, seed: int = 0
+) -> Instance:
+    """One umbrella window over many disjoint sibling groups — wide flat tree."""
+    rng = random.Random(seed)
+    horizon = n_groups * group_width
+    jobs: list[Job] = [
+        Job(id=0, release=0, deadline=horizon, processing=rng.randint(1, horizon // 2 or 1))
+    ]
+    for k in range(n_groups):
+        start = k * group_width
+        jobs.append(
+            Job(
+                id=k + 1,
+                release=start,
+                deadline=start + group_width,
+                processing=rng.randint(1, group_width),
+            )
+        )
+    return _drop_until_feasible(jobs, g, name=f"wide_star(n={n_groups})")
+
+
+def laminar_suite(seed: int = 0, sizes: Iterable[int] = (6, 10, 16, 24)) -> list[Instance]:
+    """A small, diverse battery of laminar instances for tests/benchmarks."""
+    out: list[Instance] = []
+    rng = random.Random(seed)
+    for n in sizes:
+        for g in (1, 2, 3, 5):
+            out.append(
+                random_laminar(
+                    n,
+                    g,
+                    horizon=max(12, 3 * n),
+                    seed=rng.randrange(1 << 30),
+                    unit_fraction=0.4,
+                )
+            )
+    out.append(deep_chain(6, 2, seed=rng.randrange(1 << 30)))
+    out.append(wide_star(5, 3, seed=rng.randrange(1 << 30)))
+    return out

@@ -1,0 +1,74 @@
+"""Instance-level transformations.
+
+* :func:`normalize` shifts time so the horizon starts at 0.
+* :func:`split_independent` cuts an instance into sub-instances whose
+  window unions are disjoint (the paper's w.l.o.g. "T is a tree" step:
+  each component is one tree plus the slots it owns).
+* :func:`merge` is the inverse of :func:`split_independent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.instances.jobs import Instance, Job
+
+
+def normalize(instance: Instance) -> tuple[Instance, int]:
+    """Shift all windows so the earliest release is 0.
+
+    Returns the shifted instance and the offset that was subtracted.
+    """
+    offset = instance.horizon.start
+    if offset == 0:
+        return instance, 0
+    jobs = tuple(
+        replace(j, release=j.release - offset, deadline=j.deadline - offset)
+        for j in instance.jobs
+    )
+    return Instance(jobs=jobs, g=instance.g, name=instance.name), offset
+
+
+def split_independent(instance: Instance) -> list[Instance]:
+    """Split into sub-instances with pairwise disjoint window unions.
+
+    Jobs whose windows overlap (transitively) end up in the same component.
+    Active-time optima add across components, so solvers may treat each
+    independently.
+    """
+    jobs = sorted(instance.jobs, key=lambda j: j.release)
+    components: list[list[Job]] = []
+    current: list[Job] = []
+    reach = None
+    for job in jobs:
+        if reach is None or job.release >= reach:
+            if current:
+                components.append(current)
+            current = [job]
+            reach = job.deadline
+        else:
+            current.append(job)
+            reach = max(reach, job.deadline)
+    if current:
+        components.append(current)
+    return [
+        Instance(
+            jobs=tuple(chunk),
+            g=instance.g,
+            name=f"{instance.name}#part{k}" if instance.name else f"part{k}",
+        )
+        for k, chunk in enumerate(components)
+    ]
+
+
+def merge(parts: list[Instance], name: str = "merged") -> Instance:
+    """Union of sub-instances (job ids must not collide; ``g`` must agree)."""
+    if not parts:
+        raise ValueError("nothing to merge")
+    g = parts[0].g
+    if any(p.g != g for p in parts):
+        raise ValueError("parts disagree on g")
+    jobs: list[Job] = []
+    for p in parts:
+        jobs.extend(p.jobs)
+    return Instance(jobs=tuple(jobs), g=g, name=name)

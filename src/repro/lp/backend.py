@@ -1,0 +1,237 @@
+"""Generic linear-program model and solver backends.
+
+:class:`LinearProgram` is a small modelling layer: named variables, linear
+constraints, minimization objective.  It compiles to sparse arrays and
+solves through SciPy's HiGHS by default; the from-scratch
+:mod:`repro.lp.simplex` can be selected for cross-validation
+(``backend="simplex"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.util.errors import SolverError
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Result of an LP solve.
+
+    Attributes
+    ----------
+    value:
+        Objective value at the optimum.
+    values:
+        Variable name → optimal value.
+    status:
+        Backend status string (``"optimal"`` on success).
+    duals:
+        Constraint label → dual value (HiGHS backend only; empty for the
+        from-scratch simplex).  Duals of ``>=`` rows are reported for the
+        row as modelled (nonnegative when binding), so weak duality reads
+        ``Σ dual·rhs ≤ primal value`` for covering-style models.
+    """
+
+    value: float
+    values: Mapping[str, float]
+    status: str
+    duals: Mapping[str, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.duals is None:
+            object.__setattr__(self, "duals", {})
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+    def dual(self, label: str, default: float = 0.0) -> float:
+        return self.duals.get(label, default)
+
+
+@dataclass
+class _Constraint:
+    coeffs: dict[int, float]
+    sense: str  # "<=", ">=", "=="
+    rhs: float
+    label: str
+
+
+class LinearProgram:
+    """A minimization LP over named nonnegative (by default) variables."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._var_index: dict[str, int] = {}
+        self._objective: list[float] = []
+        self._lower: list[float] = []
+        self._upper: list[float] = []
+        self._constraints: list[_Constraint] = []
+
+    # -- modelling --------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._var_index)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def add_var(
+        self,
+        name: str,
+        *,
+        objective: float = 0.0,
+        lower: float = 0.0,
+        upper: float = np.inf,
+    ) -> str:
+        """Declare a variable; returns its name for convenience."""
+        if name in self._var_index:
+            raise ValueError(f"duplicate variable {name!r}")
+        self._var_index[name] = len(self._objective)
+        self._objective.append(objective)
+        self._lower.append(lower)
+        self._upper.append(upper)
+        return name
+
+    def has_var(self, name: str) -> bool:
+        return name in self._var_index
+
+    def add_constraint(
+        self,
+        coeffs: Mapping[str, float],
+        sense: str,
+        rhs: float,
+        label: str = "",
+    ) -> None:
+        """Add ``Σ coeffs[v]·v  (sense)  rhs`` with sense in {<=, >=, ==}."""
+        if sense not in ("<=", ">=", "=="):
+            raise ValueError(f"bad sense {sense!r}")
+        indexed: dict[int, float] = {}
+        for var, c in coeffs.items():
+            if c == 0.0:
+                continue
+            try:
+                indexed[self._var_index[var]] = indexed.get(self._var_index[var], 0.0) + c
+            except KeyError:
+                raise KeyError(f"unknown variable {var!r} in constraint {label!r}")
+        self._constraints.append(_Constraint(indexed, sense, float(rhs), label))
+
+    # -- compilation --------------------------------------------------------
+
+    def compile(self) -> dict:
+        """Compile to the arrays SciPy's ``linprog`` expects."""
+        n = self.num_vars
+        c = np.asarray(self._objective, dtype=float)
+        rows_ub: list[tuple[dict[int, float], float]] = []
+        rows_eq: list[tuple[dict[int, float], float]] = []
+        meta_ub: list[tuple[str, str]] = []  # (label, original sense)
+        meta_eq: list[str] = []
+        for con in self._constraints:
+            if con.sense == "<=":
+                rows_ub.append((con.coeffs, con.rhs))
+                meta_ub.append((con.label, "<="))
+            elif con.sense == ">=":
+                rows_ub.append(({i: -v for i, v in con.coeffs.items()}, -con.rhs))
+                meta_ub.append((con.label, ">="))
+            else:
+                rows_eq.append((con.coeffs, con.rhs))
+                meta_eq.append(con.label)
+
+        def to_sparse(rows):
+            if not rows:
+                return None, None
+            data, indices, indptr, rhs = [], [], [0], []
+            for coeffs, b in rows:
+                for i, v in coeffs.items():
+                    indices.append(i)
+                    data.append(v)
+                indptr.append(len(indices))
+                rhs.append(b)
+            mat = csr_matrix(
+                (data, indices, indptr), shape=(len(rows), n), dtype=float
+            )
+            return mat, np.asarray(rhs, dtype=float)
+
+        a_ub, b_ub = to_sparse(rows_ub)
+        a_eq, b_eq = to_sparse(rows_eq)
+        bounds = list(zip(self._lower, self._upper))
+        return {
+            "c": c,
+            "A_ub": a_ub,
+            "b_ub": b_ub,
+            "A_eq": a_eq,
+            "b_eq": b_eq,
+            "bounds": bounds,
+            "meta_ub": meta_ub,
+            "meta_eq": meta_eq,
+        }
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(self, backend: str = "highs") -> LPSolution:
+        """Solve; ``backend`` is ``"highs"`` (SciPy) or ``"simplex"`` (ours)."""
+        if backend == "highs":
+            return self._solve_highs()
+        if backend == "simplex":
+            return self._solve_simplex()
+        raise ValueError(f"unknown backend {backend!r}")
+
+    def _solve_highs(self) -> LPSolution:
+        parts = self.compile()
+        res = linprog(
+            parts["c"],
+            A_ub=parts["A_ub"],
+            b_ub=parts["b_ub"],
+            A_eq=parts["A_eq"],
+            b_eq=parts["b_eq"],
+            bounds=parts["bounds"],
+            method="highs",
+        )
+        if not res.success:
+            raise SolverError(
+                f"LP {self.name!r} failed: {res.message} (status {res.status})"
+            )
+        values = {name: float(res.x[i]) for name, i in self._var_index.items()}
+        duals: dict[str, float] = {}
+        if parts["meta_ub"] and getattr(res, "ineqlin", None) is not None:
+            for (label, sense), marg in zip(
+                parts["meta_ub"], res.ineqlin.marginals
+            ):
+                if label:
+                    # Report the dual of the row as modelled: nonnegative
+                    # when a binding ">=" row supports the optimum.
+                    duals[label] = float(-marg if sense == ">=" else marg)
+        if parts["meta_eq"] and getattr(res, "eqlin", None) is not None:
+            for label, marg in zip(parts["meta_eq"], res.eqlin.marginals):
+                if label:
+                    duals[label] = float(marg)
+        return LPSolution(
+            value=float(res.fun), values=values, status="optimal", duals=duals
+        )
+
+    def _solve_simplex(self) -> LPSolution:
+        from repro.lp.simplex import SimplexSolver
+
+        parts = self.compile()
+        solver = SimplexSolver.from_compiled(parts)
+        x, value = solver.solve()
+        values = {name: float(x[i]) for name, i in self._var_index.items()}
+        return LPSolution(value=float(value), values=values, status="optimal")
+
+    # -- introspection --------------------------------------------------------
+
+    def variable_names(self) -> Sequence[str]:
+        return tuple(self._var_index)
+
+    def constraint_labels(self) -> Sequence[str]:
+        return tuple(c.label for c in self._constraints)

@@ -1,0 +1,79 @@
+"""The Călinescu–Wang LP (Figure 3 of the paper).
+
+The natural per-slot LP plus *interval ceiling constraints*: for every
+time interval ``I = [t1, t2)``,
+
+    Σ_{t ∈ I} x(t)  ≥  ⌈ Σ_j q_j(I) / g ⌉
+
+where ``q_j(I)`` is the minimum number of slots job ``j`` must occupy
+inside ``I`` even if every slot outside ``I`` were active:
+
+    q_j(I) = max(0, p_j - |window_j \\ I|).
+
+The number of constraints is quadratic in the horizon, so this model is
+intended for the moderate instances of the gap experiments (E3/E4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.instances.jobs import Instance, Job
+from repro.lp.backend import LinearProgram
+from repro.lp.natural_lp import (
+    SlotLPSolution,
+    _xname,
+    _yname,
+    build_natural_lp,
+)
+from repro.util.intervals import Interval
+from repro.util.numeric import snap_vector
+
+
+def forced_occupancy(job: Job, interval: Interval) -> int:
+    """``q_j(I)``: slots job ``j`` is forced to use inside ``interval``."""
+    window = job.window
+    inter = window.intersect(interval)
+    inside = inter.length if inter else 0
+    outside = window.length - inside
+    return max(0, job.processing - outside)
+
+
+def build_cw_lp(instance: Instance) -> LinearProgram:
+    """Natural LP plus all interval ceiling constraints."""
+    lp = build_natural_lp(instance)
+    lp.name = f"cw_lp({instance.name})"
+    horizon = instance.horizon
+    for t1 in range(horizon.start, horizon.end):
+        for t2 in range(t1 + 1, horizon.end + 1):
+            interval = Interval(t1, t2)
+            forced = sum(forced_occupancy(job, interval) for job in instance.jobs)
+            if forced <= 0:
+                continue
+            rhs = math.ceil(forced / instance.g)
+            # Skip constraints implied by per-slot volume alone.
+            if rhs <= 0:
+                continue
+            lp.add_constraint(
+                {_xname(t): 1.0 for t in range(t1, t2)},
+                ">=",
+                float(rhs),
+                label=f"ceil[{t1},{t2})>={rhs}",
+            )
+    return lp
+
+
+def solve_cw_lp(instance: Instance, *, backend: str = "highs") -> SlotLPSolution:
+    """Solve the Călinescu–Wang LP; values snapped within tolerance."""
+    lp = build_cw_lp(instance)
+    sol = lp.solve(backend=backend)
+    slots = list(instance.slots())
+    xs = snap_vector(sol.get(_xname(t)) for t in slots)
+    x = {t: float(v) for t, v in zip(slots, xs)}
+    y = {}
+    for job in instance.jobs:
+        for t in range(job.release, job.deadline):
+            v = sol.get(_yname(t, job.id))
+            if v > 1e-9:
+                y[(t, job.id)] = float(v)
+    return SlotLPSolution(value=float(sol.value), x=x, y=y)

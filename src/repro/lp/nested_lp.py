@@ -1,0 +1,146 @@
+"""The paper's strengthened tree LP — LP (1) of Section 3.1.
+
+Variables: ``x(i)`` = fractional open slots in node ``i``'s exclusive
+region; ``y(i, j)`` = units of job ``j`` placed in node ``i`` (only for
+``i ∈ Des(k(j))``).  Constraints (2)–(6) are the natural tree relaxation;
+the *ceiling constraints* (7)–(8) force ``x(Des(i)) ≥ 2`` (resp. 3) when
+no 1-slot (resp. 2-slot) schedule of the subtree exists — the key
+strengthening that breaks the factor-2 barrier on nested instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.opt_thresholds import OptThresholds, compute_thresholds
+from repro.lp.backend import LinearProgram
+from repro.tree.canonical import CanonicalInstance
+from repro.util.numeric import snap_vector
+
+
+@dataclass(frozen=True)
+class NestedLPSolution:
+    """Solution of LP (1) on a canonical instance.
+
+    ``x`` is indexed by tree node; ``y`` is a dense ``(m, n_jobs)`` array
+    indexed by (node, position of job in ``instance.jobs``).  Values are
+    snapped to integers within tolerance.
+    """
+
+    value: float
+    x: np.ndarray
+    y: np.ndarray
+    thresholds: OptThresholds
+
+    def x_subtree(self, forest, i: int) -> float:
+        """``x(Des(i))``."""
+        return float(sum(self.x[k] for k in forest.descendants(i)))
+
+
+def _xname(i: int) -> str:
+    return f"x[{i}]"
+
+
+def _yname(i: int, jid: int) -> str:
+    return f"y[{i},{jid}]"
+
+
+def build_nested_lp(
+    canonical: CanonicalInstance,
+    *,
+    ceiling: bool = True,
+    thresholds: OptThresholds | None = None,
+) -> tuple[LinearProgram, OptThresholds]:
+    """Build LP (1) for a canonical instance.
+
+    Parameters
+    ----------
+    ceiling:
+        Include constraints (7)–(8).  ``False`` gives the natural tree
+        relaxation (used by the E10 ablation).
+    thresholds:
+        Precomputed ``OPT_i`` thresholds (computed on demand otherwise).
+    """
+    inst = canonical.instance
+    forest = canonical.forest
+    job_node = canonical.job_node
+    jobs_by_id = {j.id: j for j in inst.jobs}
+    if thresholds is None:
+        thresholds = compute_thresholds(forest, job_node, jobs_by_id, inst.g)
+
+    lp = LinearProgram(name=f"nested_lp({inst.name})")
+    for i in range(forest.m):
+        lp.add_var(_xname(i), objective=1.0)
+    admissible: dict[int, list[int]] = {}  # job id -> nodes it may use
+    for job in inst.jobs:
+        nodes = forest.descendants(job_node[job.id])
+        admissible[job.id] = nodes
+        for i in nodes:
+            lp.add_var(_yname(i, job.id))
+
+    # (2) every job fully scheduled.
+    for job in inst.jobs:
+        lp.add_constraint(
+            {_yname(i, job.id): 1.0 for i in admissible[job.id]},
+            ">=",
+            job.processing,
+            label=f"volume[{job.id}]",
+        )
+    # (3) node capacity g·x(i); (4) length cap; (5) per-job cap x(i).
+    per_node_jobs: dict[int, list[int]] = {i: [] for i in range(forest.m)}
+    for jid, nodes in admissible.items():
+        for i in nodes:
+            per_node_jobs[i].append(jid)
+    for i in range(forest.m):
+        coeffs = {_yname(i, jid): 1.0 for jid in per_node_jobs[i]}
+        coeffs[_xname(i)] = -float(inst.g)
+        lp.add_constraint(coeffs, "<=", 0.0, label=f"capacity[{i}]")
+        lp.add_constraint(
+            {_xname(i): 1.0}, "<=", float(forest.length(i)), label=f"length[{i}]"
+        )
+        for jid in per_node_jobs[i]:
+            lp.add_constraint(
+                {_yname(i, jid): 1.0, _xname(i): -1.0},
+                "<=",
+                0.0,
+                label=f"spread[{i},{jid}]",
+            )
+    # (7)-(8) ceiling constraints from OPT_i thresholds.
+    if ceiling:
+        for i in range(forest.m):
+            omega = thresholds.value(i)
+            if omega >= 2:
+                lp.add_constraint(
+                    {_xname(k): 1.0 for k in forest.descendants(i)},
+                    ">=",
+                    float(omega),
+                    label=f"ceiling[{i}]>={omega}",
+                )
+    return lp, thresholds
+
+
+def solve_nested_lp(
+    canonical: CanonicalInstance,
+    *,
+    ceiling: bool = True,
+    backend: str = "highs",
+    thresholds: OptThresholds | None = None,
+) -> NestedLPSolution:
+    """Solve LP (1); returns snapped ``x`` and ``y`` arrays."""
+    lp, thresholds = build_nested_lp(
+        canonical, ceiling=ceiling, thresholds=thresholds
+    )
+    sol = lp.solve(backend=backend)
+    forest = canonical.forest
+    inst = canonical.instance
+    x = snap_vector(sol.get(_xname(i)) for i in range(forest.m))
+    y = np.zeros((forest.m, inst.n))
+    for pos, job in enumerate(inst.jobs):
+        for i in forest.descendants(canonical.job_node[job.id]):
+            y[i, pos] = sol.get(_yname(i, job.id))
+    y = np.where(np.abs(y) < 1e-9, 0.0, y)
+    return NestedLPSolution(
+        value=float(sol.value), x=x, y=y, thresholds=thresholds
+    )

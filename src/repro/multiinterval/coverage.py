@@ -1,0 +1,110 @@
+"""Coverage function for the submodular-cover view of active time.
+
+``coverage(S)`` = maximum total job volume schedulable using only the
+active slots ``S`` (max-flow value in the job/slot network).  This is a
+monotone, integer-valued submodular function of ``S`` — the classic
+flow/matroid-rank argument — with ``coverage(all slots) = Σ p_j`` exactly
+when the instance is feasible, which is what Wolsey's framework needs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.flow.dinic import MaxFlow
+from repro.multiinterval.model import MultiInstance
+from repro.util.errors import InfeasibleInstanceError
+
+
+def coverage(instance: MultiInstance, active: Sequence[int]) -> int:
+    """Max job volume placeable on the given slots (0 if none)."""
+    slots = sorted(set(active))
+    if not slots or instance.n == 0:
+        return 0
+    slot_pos = {t: k for k, t in enumerate(slots)}
+    n = instance.n
+    source = n + len(slots)
+    sink = source + 1
+    net = MaxFlow(sink + 1)
+    for k, job in enumerate(instance.jobs):
+        net.add_edge(source, k, job.processing)
+        for t in job.allowed_slots():
+            pos = slot_pos.get(t)
+            if pos is not None:
+                net.add_edge(k, n + pos, 1)
+    for pos in range(len(slots)):
+        net.add_edge(n + pos, sink, instance.g)
+    return int(net.max_flow(source, sink))
+
+
+def feasible(instance: MultiInstance, active: Sequence[int]) -> bool:
+    """Do the active slots suffice for the whole instance?"""
+    return coverage(instance, active) == instance.total_volume
+
+
+def extract_assignment(
+    instance: MultiInstance, active: Sequence[int]
+) -> Mapping[int, tuple[int, ...]] | None:
+    """A concrete job → slots assignment over ``active``, or ``None``."""
+    slots = sorted(set(active))
+    if instance.n == 0:
+        return {}
+    if not slots:
+        return None
+    slot_pos = {t: k for k, t in enumerate(slots)}
+    n = instance.n
+    source = n + len(slots)
+    sink = source + 1
+    net = MaxFlow(sink + 1)
+    edge_ids: dict[tuple[int, int], int] = {}
+    for k, job in enumerate(instance.jobs):
+        net.add_edge(source, k, job.processing)
+        for t in job.allowed_slots():
+            pos = slot_pos.get(t)
+            if pos is not None:
+                edge_ids[(job.id, t)] = net.add_edge(k, n + pos, 1)
+    for pos in range(len(slots)):
+        net.add_edge(n + pos, sink, instance.g)
+    if net.max_flow(source, sink) != instance.total_volume:
+        return None
+    out: dict[int, list[int]] = {j.id: [] for j in instance.jobs}
+    for (jid, t), eid in edge_ids.items():
+        if net.edge_flow(eid) > 0.5:
+            out[jid].append(t)
+    return {jid: tuple(sorted(ts)) for jid, ts in out.items()}
+
+
+def require_feasible(instance: MultiInstance) -> None:
+    """Raise unless the instance is schedulable with every slot active."""
+    if not feasible(instance, list(instance.candidate_slots)):
+        raise InfeasibleInstanceError(
+            f"multi-interval instance {instance.name!r} has no schedule"
+        )
+
+
+def validate_assignment(
+    instance: MultiInstance, assignment: Mapping[int, tuple[int, ...]]
+) -> list[str]:
+    """Independent checker mirroring :class:`repro.core.schedule.Schedule`."""
+    problems: list[str] = []
+    loads: dict[int, int] = {}
+    jobs = {j.id: j for j in instance.jobs}
+    for jid, slots in assignment.items():
+        job = jobs.get(jid)
+        if job is None:
+            problems.append(f"unknown job {jid}")
+            continue
+        if len(set(slots)) != len(slots):
+            problems.append(f"job {jid} repeats a slot")
+        if len(slots) != job.processing:
+            problems.append(f"job {jid}: {len(slots)} != p={job.processing}")
+        for t in slots:
+            if not job.allows(t):
+                problems.append(f"job {jid} at disallowed slot {t}")
+            loads[t] = loads.get(t, 0) + 1
+    for jid in jobs.keys() - assignment.keys():
+        problems.append(f"job {jid} missing")
+    for t, load in loads.items():
+        if load > instance.g:
+            problems.append(f"slot {t} overloaded ({load} > {instance.g})")
+    return problems

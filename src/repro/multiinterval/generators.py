@@ -1,0 +1,67 @@
+"""Random multi-interval instance generation."""
+
+from __future__ import annotations
+
+import random
+
+from repro.multiinterval.coverage import feasible
+from repro.multiinterval.model import MultiInstance, MultiJob
+from repro.util.intervals import Interval
+
+
+def random_multi_interval(
+    n_jobs: int,
+    g: int,
+    *,
+    horizon: int = 30,
+    max_intervals: int = 3,
+    p_max: int = 3,
+    seed: int = 0,
+) -> MultiInstance:
+    """Sample a feasible multi-interval instance.
+
+    Each job gets 1..``max_intervals`` disjoint intervals and a processing
+    time fitting inside them; infeasible drafts drop jobs until the flow
+    test passes.
+    """
+    rng = random.Random(seed)
+    jobs: list[MultiJob] = []
+    for k in range(n_jobs):
+        n_iv = rng.randint(1, max_intervals)
+        cuts = sorted(rng.sample(range(horizon), min(2 * n_iv, horizon)))
+        intervals = []
+        for a, b in zip(cuts[::2], cuts[1::2]):
+            if b > a:
+                intervals.append(Interval(a, b))
+        if not intervals:
+            start = rng.randrange(horizon - 1)
+            intervals = [Interval(start, start + 1)]
+        total = sum(iv.length for iv in intervals)
+        p = rng.randint(1, min(p_max, total))
+        jobs.append(MultiJob(id=k, processing=p, intervals=tuple(intervals)))
+    instance = MultiInstance(
+        jobs=tuple(jobs), g=g, name=f"random_multi(seed={seed})"
+    )
+    while not feasible(instance, list(instance.candidate_slots)):
+        jobs = jobs[:-1]
+        instance = MultiInstance(
+            jobs=tuple(jobs), g=g, name=f"random_multi(seed={seed})"
+        )
+    return instance
+
+
+def shift_family(g: int, shifts: int) -> MultiInstance:
+    """A structured family: each job may run in one of ``shifts`` copies
+    of the same two-slot block (think: a task runnable during any of the
+    day's maintenance shifts)."""
+    jobs: list[MultiJob] = []
+    jid = 0
+    blocks = [Interval(3 * s, 3 * s + 2) for s in range(shifts)]
+    for _ in range(g * shifts // 2 + 1):
+        jobs.append(
+            MultiJob(id=jid, processing=1, intervals=tuple(blocks))
+        )
+        jid += 1
+    return MultiInstance(
+        jobs=tuple(jobs), g=g, name=f"shift_family(g={g},s={shifts})"
+    )

@@ -1,0 +1,118 @@
+"""Multi-interval active time: jobs with a *collection* of allowed intervals.
+
+The generalization studied by Chang–Gabow–Khuller [2] (paper's related
+work): instead of one window, each job carries several disjoint intervals
+and may run in any of their slots.  NP-hard already for unit jobs when
+``g ≥ 3`` [2]; admits an ``H_g``-approximation through Wolsey's submodular
+cover framework [12] — implemented in :mod:`repro.multiinterval.greedy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+from repro.instances.jobs import Instance
+from repro.util.errors import InvalidInstanceError
+from repro.util.intervals import Interval
+
+
+@dataclass(frozen=True)
+class MultiJob:
+    """A preemptible job allowed to run in any of several intervals."""
+
+    id: int
+    processing: int
+    intervals: tuple[Interval, ...]
+
+    def __post_init__(self) -> None:
+        if self.processing < 1:
+            raise InvalidInstanceError(
+                f"job {self.id}: processing must be >= 1"
+            )
+        if not self.intervals:
+            raise InvalidInstanceError(f"job {self.id}: no intervals")
+        ordered = sorted(self.intervals, key=lambda iv: iv.start)
+        for a, b in zip(ordered, ordered[1:]):
+            if a.end > b.start:
+                raise InvalidInstanceError(
+                    f"job {self.id}: intervals {a} and {b} overlap"
+                )
+        object.__setattr__(self, "intervals", tuple(ordered))
+        if sum(iv.length for iv in self.intervals) < self.processing:
+            raise InvalidInstanceError(
+                f"job {self.id}: intervals too short for processing "
+                f"{self.processing}"
+            )
+
+    def allowed_slots(self) -> list[int]:
+        """All slots the job may run in, sorted."""
+        out: list[int] = []
+        for iv in self.intervals:
+            out.extend(iv.slots())
+        return out
+
+    def allows(self, t: int) -> bool:
+        return any(t in iv for iv in self.intervals)
+
+
+@dataclass(frozen=True)
+class MultiInstance:
+    """A multi-interval active-time instance."""
+
+    jobs: tuple[MultiJob, ...]
+    g: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.g, int) or self.g < 1:
+            raise InvalidInstanceError(f"bad capacity {self.g!r}")
+        seen: set[int] = set()
+        for job in self.jobs:
+            if job.id in seen:
+                raise InvalidInstanceError(f"duplicate job id {job.id}")
+            seen.add(job.id)
+
+    def __iter__(self) -> Iterator[MultiJob]:
+        return iter(self.jobs)
+
+    @property
+    def n(self) -> int:
+        return len(self.jobs)
+
+    @cached_property
+    def total_volume(self) -> int:
+        return sum(j.processing for j in self.jobs)
+
+    @cached_property
+    def candidate_slots(self) -> tuple[int, ...]:
+        """Slots allowed for at least one job."""
+        out: set[int] = set()
+        for job in self.jobs:
+            out.update(job.allowed_slots())
+        return tuple(sorted(out))
+
+    @staticmethod
+    def from_instance(instance: Instance) -> "MultiInstance":
+        """View a single-window instance as a multi-interval one."""
+        jobs = tuple(
+            MultiJob(id=j.id, processing=j.processing, intervals=(j.window,))
+            for j in instance.jobs
+        )
+        return MultiInstance(jobs=jobs, g=instance.g, name=instance.name)
+
+    @staticmethod
+    def build(
+        specs: Iterable[tuple[int, Sequence[tuple[int, int]]]], g: int, name: str = ""
+    ) -> "MultiInstance":
+        """Build from ``(processing, [(start, end), ...])`` specs."""
+        jobs = tuple(
+            MultiJob(
+                id=k,
+                processing=p,
+                intervals=tuple(Interval(a, b) for a, b in ivs),
+            )
+            for k, (p, ivs) in enumerate(specs)
+        )
+        return MultiInstance(jobs=jobs, g=g, name=name)

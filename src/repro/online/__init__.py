@@ -1,0 +1,19 @@
+"""Online active-time scheduling (survey-adjacent extension)."""
+
+from repro.online.policies import (
+    EagerActivation,
+    LazyActivation,
+    OnlinePolicy,
+    OnlineRun,
+    competitive_ratio,
+    run_online,
+)
+
+__all__ = [
+    "OnlinePolicy",
+    "EagerActivation",
+    "LazyActivation",
+    "run_online",
+    "OnlineRun",
+    "competitive_ratio",
+]

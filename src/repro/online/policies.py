@@ -1,0 +1,224 @@
+"""Online active-time scheduling policies.
+
+The related-work survey (Chau & Li) covers online active time: jobs are
+revealed at their release times and the scheduler must decide, slot by
+slot, whether to power the machine, never seeing future arrivals.  We
+implement two policies over a common harness:
+
+* :class:`EagerActivation` — power every slot with pending work (the
+  baseline everyone beats);
+* :class:`LazyActivation` — skip slot ``t`` unless the *currently
+  released* unfinished jobs would become infeasible with only slots
+  ``> t`` available (a flow test; future arrivals are unaffected by the
+  decision because their releases are ``> t``).  When a slot is powered,
+  it runs the jobs a max-flow schedule of the pending work puts there and
+  pads the batch with the most urgent other pending jobs (padding is free
+  and only removes future work).
+
+**Impossibility results worth knowing** (both reproduced as tests): with
+bounded capacity and hard deadlines, *no* online algorithm stays feasible
+on all offline-feasible inputs.
+
+* *Deferring fails*: ``g = 1``, job A = (window ``[0,10)``, ``p = 1``).
+  Any deferring algorithm leaves slot 0 dark; the adversary releases
+  B = (window ``[8,10)``, ``p = 2``), and A+B need three units in
+  ``{8, 9}``.  Offline uses slot 0 for A.
+* *Even maximal eagerness fails*: when a single long job is alone in the
+  system, at most one of the ``g`` units per slot can be used; the lost
+  parallel capacity may be exactly what a late burst of tight jobs
+  needed.  (Concretely: jobs that monopolize early slots force a long
+  job's units to cluster late; see
+  ``tests/test_online.py::test_eager_impossibility``.)
+
+Consequently both policies carry a feasibility guard: the moment the
+*released* work becomes unschedulable on the remaining slots they raise
+:class:`~repro.util.errors.InfeasibleInstanceError` instead of emitting a
+broken schedule.  Both are provably safe when all jobs share one release
+time (no surprises can arrive mid-run) — the batch-workload setting — and
+that is the class benchmark E12 measures: lazy's energy saving over eager
+and its empirical competitive ratio against the offline optimum, plus the
+failure rates of both policies on scattered-release instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import Schedule
+from repro.flow.dinic import MaxFlow
+from repro.instances.jobs import Instance
+from repro.util.errors import InfeasibleInstanceError
+
+
+@dataclass
+class _PendingJob:
+    id: int
+    deadline: int
+    remaining: int
+
+
+def _pending_schedule(
+    pending: list[_PendingJob], slots: list[int], g: int
+) -> dict[int, list[int]] | None:
+    """Max-flow schedule of pending work on the given slots, or ``None``."""
+    if not pending:
+        return {}
+    if not slots:
+        return None
+    n = len(pending)
+    slot_pos = {t: k for k, t in enumerate(slots)}
+    source = n + len(slots)
+    sink = source + 1
+    net = MaxFlow(sink + 1)
+    edge_ids: dict[tuple[int, int], int] = {}
+    for k, job in enumerate(pending):
+        net.add_edge(source, k, job.remaining)
+        for t in slots:
+            if t < job.deadline:
+                edge_ids[(job.id, t)] = net.add_edge(k, n + slot_pos[t], 1)
+    for pos in range(len(slots)):
+        net.add_edge(n + pos, sink, g)
+    total = sum(j.remaining for j in pending)
+    if net.max_flow(source, sink) != total:
+        return None
+    out: dict[int, list[int]] = {}
+    for (jid, t), eid in edge_ids.items():
+        if net.edge_flow(eid) > 0.5:
+            out.setdefault(jid, []).append(t)
+    return out
+
+
+class OnlinePolicy:
+    """Base class: decide per slot whether to power and whom to run."""
+
+    name = "abstract"
+
+    def decide(
+        self,
+        t: int,
+        pending: list[_PendingJob],
+        future_slots: list[int],
+        g: int,
+    ) -> list[int] | None:
+        """Return job ids to run at ``t`` (powering it), or ``None`` to skip."""
+        raise NotImplementedError
+
+
+class EagerActivation(OnlinePolicy):
+    """Power every slot that has pending work.
+
+    The batch is flow-guided: run whatever a max-flow schedule of the
+    pending work places at ``t``, padded with the most urgent remaining
+    jobs.  (A plain earliest-deadline batch is *not* feasibility-safe
+    with ``g > 1`` — it can run slack jobs while a pair of jobs that both
+    need a specific later slot starves; the flow batch cannot.)
+    """
+
+    name = "eager"
+
+    def decide(self, t, pending, future_slots, g):
+        runnable = [j for j in pending if j.remaining > 0]
+        if not runnable:
+            return None
+        later = [s for s in future_slots if s >= t]
+        here = _pending_schedule(runnable, later, g)
+        if here is None:
+            raise InfeasibleInstanceError(
+                f"pending work infeasible at slot {t} even if always on"
+            )
+        batch = [jid for jid, slots in here.items() if t in slots]
+        if len(batch) < g:
+            extras = sorted(
+                (j for j in runnable if j.id not in batch),
+                key=lambda j: (j.deadline, j.id),
+            )
+            batch.extend(j.id for j in extras[: g - len(batch)])
+        return batch
+
+
+class LazyActivation(OnlinePolicy):
+    """Skip unless pending work would become infeasible without slot ``t``."""
+
+    name = "lazy"
+
+    def decide(self, t, pending, future_slots, g):
+        runnable = [j for j in pending if j.remaining > 0]
+        if not runnable:
+            return None
+        later = [s for s in future_slots if s > t]
+        if _pending_schedule(runnable, later, g) is not None:
+            return None  # safe to stay dark
+        here = _pending_schedule(runnable, [t] + later, g)
+        if here is None:
+            raise InfeasibleInstanceError(
+                f"pending work infeasible at slot {t} even if always on"
+            )
+        batch = [jid for jid, slots in here.items() if t in slots]
+        # Pad with the most urgent other pending jobs — the slot is paid for.
+        if len(batch) < g:
+            extras = sorted(
+                (j for j in runnable if j.id not in batch),
+                key=lambda j: (j.deadline, j.id),
+            )
+            batch.extend(j.id for j in extras[: g - len(batch)])
+        return batch
+
+
+@dataclass
+class OnlineRun:
+    """Result of replaying an instance through a policy."""
+
+    schedule: Schedule
+    policy: str
+    activations: list[int] = field(default_factory=list)
+
+    @property
+    def active_time(self) -> int:
+        return self.schedule.active_time
+
+
+def run_online(instance: Instance, policy: OnlinePolicy) -> OnlineRun:
+    """Replay the instance slot by slot through an online policy.
+
+    Jobs become visible at their release slot; the produced schedule is
+    validated independently before returning.
+    """
+    horizon = instance.horizon
+    jobs_by_release: dict[int, list[_PendingJob]] = {}
+    for job in instance.jobs:
+        jobs_by_release.setdefault(job.release, []).append(
+            _PendingJob(id=job.id, deadline=job.deadline, remaining=job.processing)
+        )
+    pending: list[_PendingJob] = []
+    assignment: dict[int, list[int]] = {j.id: [] for j in instance.jobs}
+    activations: list[int] = []
+    future = list(horizon.slots())
+    for t in horizon.slots():
+        pending.extend(jobs_by_release.get(t, []))
+        pending = [j for j in pending if j.remaining > 0]
+        batch = policy.decide(t, pending, future, instance.g)
+        if batch is None:
+            continue
+        activations.append(t)
+        by_id = {j.id: j for j in pending}
+        for jid in batch[: instance.g]:
+            job = by_id[jid]
+            if job.remaining > 0 and t < job.deadline:
+                job.remaining -= 1
+                assignment[jid].append(t)
+    leftover = [j for j in pending if j.remaining > 0]
+    if leftover:
+        raise InfeasibleInstanceError(
+            f"policy {policy.name!r} stranded jobs {[j.id for j in leftover]}"
+        )
+    schedule = Schedule.from_assignment(instance, assignment).require_valid()
+    return OnlineRun(schedule=schedule, policy=policy.name, activations=activations)
+
+
+def competitive_ratio(instance: Instance, policy: OnlinePolicy) -> float:
+    """Online cost over the offline optimum (exact solver)."""
+    from repro.baselines.exact import solve_exact
+
+    online = run_online(instance, policy).active_time
+    opt = solve_exact(instance).optimum
+    return online / max(opt, 1)

@@ -1,0 +1,5 @@
+"""Discrete-time batch-machine execution model."""
+
+from repro.simulate.machine import BatchMachine, SimulationResult, SlotEvent
+
+__all__ = ["BatchMachine", "SimulationResult", "SlotEvent"]

@@ -1,0 +1,17 @@
+"""Laminar window forests: construction, queries, canonicalization."""
+
+from repro.tree.canonical import CanonicalInstance, canonicalize, is_canonical
+from repro.tree.laminar import build_forest
+from repro.tree.node import TreeNode, WindowForest
+from repro.tree.render import forest_stats, render_forest
+
+__all__ = [
+    "TreeNode",
+    "WindowForest",
+    "build_forest",
+    "canonicalize",
+    "is_canonical",
+    "CanonicalInstance",
+    "render_forest",
+    "forest_stats",
+]

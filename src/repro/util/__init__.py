@@ -1,0 +1,31 @@
+"""Shared utilities: errors, interval algebra, numeric snapping."""
+
+from repro.util.errors import (
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    NotLaminarError,
+    ReproError,
+    SolverError,
+)
+from repro.util.intervals import (
+    Interval,
+    intervals_disjoint,
+    intervals_nested,
+    is_laminar,
+)
+from repro.util.numeric import EPS, snap, snap_vector
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InfeasibleInstanceError",
+    "NotLaminarError",
+    "SolverError",
+    "Interval",
+    "intervals_disjoint",
+    "intervals_nested",
+    "is_laminar",
+    "EPS",
+    "snap",
+    "snap_vector",
+]

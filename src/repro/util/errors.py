@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Validation failures carry enough context to point at
+the offending job or constraint.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An instance violates the model (non-integer data, ``d < r + p``, ...)."""
+
+
+class NotLaminarError(InvalidInstanceError):
+    """A nested-only routine received an instance with crossing windows.
+
+    Attributes
+    ----------
+    witness:
+        A pair of windows ``((r1, d1), (r2, d2))`` that properly cross,
+        or ``None`` when not recorded.
+    """
+
+    def __init__(self, message: str, witness: tuple | None = None) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+class InfeasibleInstanceError(ReproError):
+    """No schedule exists, even with every slot active."""
+
+
+class SolverError(ReproError):
+    """An LP or flow solver failed to produce a usable solution."""

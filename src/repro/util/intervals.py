@@ -1,0 +1,106 @@
+"""Half-open integer interval algebra used for job windows.
+
+Windows are half-open ``[start, end)`` on the integer timeline, matching the
+paper's convention ``[r_j, d_j)``.  The key predicate is laminarity: every
+pair of windows is either disjoint or nested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A half-open integer interval ``[start, end)`` with ``start < end``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise ValueError(f"empty interval [{self.start}, {self.end})")
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def length(self) -> int:
+        """Number of integer slots covered."""
+        return self.end - self.start
+
+    def __contains__(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` lies inside ``self`` (possibly equal)."""
+        return self.start <= other.start and other.end <= self.end
+
+    def strictly_contains(self, other: "Interval") -> bool:
+        """True when ``other`` lies inside ``self`` and differs from it."""
+        return self.contains_interval(other) and self != other
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def slots(self) -> range:
+        """Iterate the integer slots in the interval."""
+        return range(self.start, self.end)
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        lo, hi = max(self.start, other.start), min(self.end, other.end)
+        return Interval(lo, hi) if lo < hi else None
+
+
+def intervals_disjoint(a: Interval, b: Interval) -> bool:
+    """True when the two intervals share no slot."""
+    return not a.overlaps(b)
+
+
+def intervals_nested(a: Interval, b: Interval) -> bool:
+    """True when one interval contains the other."""
+    return a.contains_interval(b) or b.contains_interval(a)
+
+
+def crossing_pair(
+    intervals: Iterable[Interval],
+) -> tuple[Interval, Interval] | None:
+    """Return a properly crossing pair, or ``None`` when laminar.
+
+    Uses a single sorted sweep with a containment stack: sort by
+    ``(start, -end)`` so that at each new interval, every open ancestor is on
+    the stack; the family is laminar iff each new interval nests inside the
+    innermost open one (or starts after it ends).  Runs in ``O(k log k)``.
+    """
+    items = sorted(set(intervals), key=lambda iv: (iv.start, -iv.end))
+    stack: list[Interval] = []
+    for iv in items:
+        while stack and stack[-1].end <= iv.start:
+            stack.pop()
+        if stack and not stack[-1].contains_interval(iv):
+            return stack[-1], iv
+        stack.append(iv)
+    return None
+
+
+def is_laminar(intervals: Iterable[Interval]) -> bool:
+    """True when every pair of intervals is disjoint or nested."""
+    return crossing_pair(intervals) is None
+
+
+def union_length(intervals: Sequence[Interval]) -> int:
+    """Total number of slots covered by the union of the intervals."""
+    if not intervals:
+        return 0
+    items = sorted(intervals, key=lambda iv: iv.start)
+    total = 0
+    cur_start, cur_end = items[0].start, items[0].end
+    for iv in items[1:]:
+        if iv.start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = iv.start, iv.end
+        else:
+            cur_end = max(cur_end, iv.end)
+    total += cur_end - cur_start
+    return total

@@ -1,0 +1,88 @@
+"""Unit tests for gap measurement, ratio reports, and table rendering."""
+
+import pytest
+
+from repro.analysis.gaps import gap_profile, integrality_gap, lp_value
+from repro.analysis.metrics import DEFAULT_ALGORITHMS, measure_ratios
+from repro.analysis.tables import print_table, render_table
+from repro.instances.families import natural_gap, section5_gap
+from repro.instances.generators import laminar_suite
+
+
+class TestGaps:
+    def test_natural_gap_measured(self):
+        report = integrality_gap(natural_gap(4), "natural")
+        assert report.optimum == 2
+        assert report.gap == pytest.approx(2 * 4 / (4 + 1))
+
+    def test_nested_relaxation_closes_it(self):
+        report = integrality_gap(natural_gap(4), "nested")
+        assert report.gap == pytest.approx(1.0)
+
+    def test_profile_orders_relaxations_by_strength(self):
+        profile = gap_profile(section5_gap(3), ("natural", "cw", "nested"))
+        by_name = {r.relaxation: r for r in profile}
+        # Stronger relaxations have higher LP values → smaller gaps.
+        assert by_name["natural"].lp_value <= by_name["cw"].lp_value + 1e-9
+        assert by_name["natural"].gap >= by_name["cw"].gap - 1e-9
+
+    def test_unknown_relaxation_rejected(self):
+        with pytest.raises(ValueError):
+            lp_value(natural_gap(2), "magic")  # type: ignore
+
+    def test_ablation_relaxation_available(self):
+        weak = lp_value(natural_gap(3), "nested_no_ceiling")
+        strong = lp_value(natural_gap(3), "nested")
+        assert weak < strong
+
+
+class TestMetrics:
+    def test_report_shape(self):
+        suite = laminar_suite(seed=3, sizes=(5,))[:3]
+        report = measure_ratios(suite, with_lp=True)
+        assert len(report.rows) == 3
+        for row in report.rows:
+            assert set(row.values) == set(DEFAULT_ALGORITHMS)
+            assert row.optimum is not None
+
+    def test_ratios_at_least_one(self):
+        suite = laminar_suite(seed=4, sizes=(6,))[:3]
+        report = measure_ratios(suite)
+        for row in report.rows:
+            for algo in report.algorithms:
+                r = row.ratio(algo)
+                assert r is None or r >= 1 - 1e-9
+
+    def test_aggregates(self):
+        suite = laminar_suite(seed=5, sizes=(5,))[:3]
+        report = measure_ratios(suite)
+        for algo in report.algorithms:
+            mx = report.max_ratio(algo)
+            mn = report.mean_ratio(algo)
+            assert mx is not None and mn is not None and mx >= mn
+            assert report.worst_instance(algo) is not None
+
+    def test_budget_exhaustion_yields_none_optimum(self, medium_laminar):
+        report = measure_ratios([medium_laminar], exact_node_budget=2)
+        assert report.rows[0].optimum is None
+        assert report.mean_ratio("nested_9_5") is None
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.23456], ["bb", None]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "-" in lines[2]
+        assert "1.235" in text and "-" in lines[-1]
+
+    def test_empty_rows(self):
+        text = render_table(["h1", "h2"], [])
+        assert "h1" in text
+
+    def test_print_table(self, capsys):
+        print_table(["x"], [[1]])
+        assert "1" in capsys.readouterr().out

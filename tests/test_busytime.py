@@ -1,0 +1,133 @@
+"""Tests for the busy-time substrate (related-work problem)."""
+
+import random
+
+import pytest
+
+from repro.busytime import (
+    BusyAssignment,
+    BusyTimeInstance,
+    IntervalJob,
+    exact_busy_time,
+    first_fit_decreasing,
+)
+from repro.util.errors import InvalidInstanceError
+
+
+def _random_instance(seed: int, n: int = 7, g: int = 2, horizon: int = 16):
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(n):
+        a = rng.randrange(horizon - 1)
+        b = rng.randint(a + 1, min(horizon, a + 6))
+        pairs.append((a, b))
+    return BusyTimeInstance.from_pairs(pairs, g, name=f"bt(seed={seed})")
+
+
+class TestModel:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            IntervalJob(id=0, start=3, end=3)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BusyTimeInstance(
+                jobs=(IntervalJob(0, 0, 1), IntervalJob(0, 1, 2)), g=1
+            )
+
+    def test_lower_bounds(self):
+        inst = BusyTimeInstance.from_pairs([(0, 4), (0, 4), (6, 8)], g=2)
+        assert inst.span_lower_bound == 6
+        assert inst.load_lower_bound == pytest.approx(5.0)
+        assert inst.lower_bound() == 6.0
+
+    def test_assignment_cost(self):
+        inst = BusyTimeInstance.from_pairs([(0, 4), (2, 6)], g=2)
+        together = BusyAssignment(inst, {0: 0, 1: 0})
+        apart = BusyAssignment(inst, {0: 0, 1: 1})
+        assert together.busy_time == 6
+        assert apart.busy_time == 8
+
+    def test_capacity_violation_detected(self):
+        inst = BusyTimeInstance.from_pairs([(0, 4), (0, 4), (0, 4)], g=2)
+        bad = BusyAssignment(inst, {0: 0, 1: 0, 2: 0})
+        assert not bad.is_valid
+
+    def test_unassigned_job_detected(self):
+        inst = BusyTimeInstance.from_pairs([(0, 2)], g=1)
+        assert not BusyAssignment(inst, {}).is_valid
+
+
+class TestFirstFitDecreasing:
+    def test_batches_identical_intervals(self):
+        inst = BusyTimeInstance.from_pairs([(0, 5)] * 4, g=2)
+        result = first_fit_decreasing(inst)
+        assert result.is_valid
+        assert result.busy_time == 10  # two machines of span 5
+
+    def test_nested_intervals_share_a_machine(self):
+        inst = BusyTimeInstance.from_pairs([(0, 10), (2, 4), (6, 8)], g=2)
+        result = first_fit_decreasing(inst)
+        assert result.is_valid
+        assert result.busy_time == 10  # everything under the long job
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valid_on_random(self, seed):
+        inst = _random_instance(seed)
+        result = first_fit_decreasing(inst)
+        assert result.is_valid
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_close_to_exact_on_small(self, seed):
+        inst = _random_instance(seed, n=6)
+        result = first_fit_decreasing(inst)
+        opt = exact_busy_time(inst)
+        assert opt <= result.busy_time <= 4 * opt  # cited factor
+
+    def test_never_below_lower_bound(self):
+        for seed in range(6):
+            inst = _random_instance(seed)
+            result = first_fit_decreasing(inst)
+            assert result.busy_time >= inst.lower_bound() - 1e-9
+
+
+class TestExact:
+    def test_cap(self):
+        inst = _random_instance(0, n=12)
+        with pytest.raises(ValueError):
+            exact_busy_time(inst)
+
+    def test_empty(self):
+        inst = BusyTimeInstance(jobs=(), g=1)
+        assert exact_busy_time(inst) == 0
+
+    def test_known_optimum(self):
+        # Two overlapping pairs; g=2 packs each pair on one machine.
+        inst = BusyTimeInstance.from_pairs(
+            [(0, 3), (1, 3), (5, 9), (5, 8)], g=2
+        )
+        assert exact_busy_time(inst) == 7
+
+
+class TestFitsProperty:
+    """_fits must agree with a naive per-slot concurrency count."""
+
+    def test_against_naive_sweep(self):
+        from repro.busytime.algorithms import _fits
+
+        rng = random.Random(5)
+        for _ in range(60):
+            g = rng.randint(1, 3)
+            members = [
+                IntervalJob(id=k, start=(a := rng.randrange(10)), end=a + rng.randint(1, 5))
+                for k in range(rng.randint(0, 4))
+            ]
+            a = rng.randrange(10)
+            job = IntervalJob(id=99, start=a, end=a + rng.randint(1, 5))
+            naive_ok = True
+            for t in range(job.start, job.end):
+                load = 1 + sum(1 for j in members if j.start <= t < j.end)
+                if load > g:
+                    naive_ok = False
+                    break
+            assert _fits(members, job, g) == naive_ok, (members, job, g)

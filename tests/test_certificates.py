@@ -1,0 +1,73 @@
+"""Tests for optimality certificates."""
+
+import pytest
+
+from repro.analysis.certificates import Certificate, certify
+from repro.baselines.exact import solve_exact
+from repro.baselines.minimal_feasible import minimal_feasible_schedule
+from repro.core.algorithm import solve_nested
+from repro.instances.families import natural_gap, section5_gap
+from repro.instances.generators import laminar_suite, random_laminar
+
+
+class TestCertify:
+    def test_optimality_proven_on_tight_instance(self):
+        inst = natural_gap(4)
+        sched = solve_nested(inst).schedule
+        cert = certify(inst, sched)
+        assert cert.proves_optimal
+        assert cert.verify() == []
+
+    def test_ratio_pinned_when_not_tight(self):
+        inst = section5_gap(4)
+        sched = solve_nested(inst).schedule
+        cert = certify(inst, sched)
+        assert cert.verify() == []
+        opt = solve_exact(inst).optimum
+        # The certificate's proven ratio is valid (≥ the true ratio).
+        assert cert.proven_ratio >= sched.active_time / opt - 1e-9
+
+    def test_strongest_affordable_bound_chosen(self):
+        inst = natural_gap(4)
+        sched = solve_nested(inst).schedule
+        cert = certify(inst, sched, use_lp=True)
+        # volume bound ⌈5/4⌉ = 2 already matches; early exit keeps it.
+        assert cert.bound_kind in ("volume", "interval", "lp_strengthened")
+        assert cert.lower == 2
+
+    def test_without_lp(self):
+        inst = random_laminar(8, 2, horizon=18, seed=3)
+        sched = minimal_feasible_schedule(inst)
+        cert = certify(inst, sched, use_lp=False)
+        assert cert.bound_kind in ("volume", "longest_job", "interval")
+        assert cert.verify() == []
+
+    def test_suite_certificates_all_verify(self):
+        for inst in laminar_suite(seed=77, sizes=(6, 9)):
+            cert = certify(inst, solve_nested(inst).schedule)
+            assert cert.verify() == []
+            assert cert.proven_ratio < 1.8 + 1e-9 or not cert.proves_optimal
+
+
+class TestVerify:
+    def test_broken_schedule_detected(self):
+        inst = natural_gap(3)
+        from repro.core.schedule import Schedule
+
+        bad = Schedule.from_assignment(inst, {})
+        cert = Certificate(schedule=bad, bound_kind="volume", bound_value=2.0)
+        assert cert.verify()
+
+    def test_inflated_bound_detected(self):
+        inst = natural_gap(3)
+        sched = solve_nested(inst).schedule
+        cert = Certificate(
+            schedule=sched, bound_kind="volume", bound_value=99.0
+        )
+        assert any("recomputes" in p for p in cert.verify())
+
+    def test_unknown_bound_kind_detected(self):
+        inst = natural_gap(3)
+        sched = solve_nested(inst).schedule
+        cert = Certificate(schedule=sched, bound_kind="magic", bound_value=1.0)
+        assert any("unknown bound" in p for p in cert.verify())

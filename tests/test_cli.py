@@ -1,0 +1,107 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.instances.io import dump_instance, load_instance
+from repro.instances.jobs import Instance
+
+
+@pytest.fixture()
+def inst_path(tmp_path):
+    path = tmp_path / "inst.json"
+    dump_instance(
+        Instance.from_triples([(0, 4, 2), (0, 2, 1), (2, 4, 1)], g=2, name="cli"),
+        path,
+    )
+    return str(path)
+
+
+class TestGenerate:
+    def test_random_laminar(self, tmp_path, capsys):
+        out = tmp_path / "gen.json"
+        assert main(["generate", str(out), "--jobs", "6", "--g", "2"]) == 0
+        inst = load_instance(out)
+        assert inst.g == 2
+        assert "wrote" in capsys.readouterr().out
+
+    def test_family(self, tmp_path):
+        out = tmp_path / "fam.json"
+        assert main(["generate", str(out), "--family", "section5_gap", "--g", "3"]) == 0
+        assert load_instance(out).name == "section5_gap(g=3)"
+
+    def test_unknown_family_fails(self, tmp_path, capsys):
+        out = tmp_path / "x.json"
+        assert main(["generate", str(out), "--family", "nope"]) == 2
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_general_flag(self, tmp_path):
+        out = tmp_path / "gen.json"
+        assert main(["generate", str(out), "--general", "--jobs", "8"]) == 0
+
+
+class TestSolve:
+    @pytest.mark.parametrize("algo", ["nested", "greedy", "kk", "exact"])
+    def test_algorithms(self, inst_path, capsys, algo):
+        assert main(["solve", inst_path, "--algorithm", algo]) == 0
+        assert "active_time=2" in capsys.readouterr().out
+
+    def test_writes_schedule(self, inst_path, tmp_path):
+        out = tmp_path / "sched.json"
+        assert main(["solve", inst_path, "--output", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert "assignment" in doc
+
+
+class TestEvaluateAndGap:
+    def test_evaluate_prints_table(self, inst_path, capsys):
+        assert main(["evaluate", inst_path]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "OPT=2" in out
+
+    def test_gap_prints_three_relaxations(self, inst_path, capsys):
+        assert main(["gap", inst_path]) == 0
+        out = capsys.readouterr().out
+        for name in ("natural", "cw", "nested"):
+            assert name in out
+
+
+class TestNewFlags:
+    def test_show_prints_gantt(self, inst_path, capsys):
+        assert main(["solve", inst_path, "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "power" in out and "|" in out
+
+    @pytest.mark.parametrize("algo", ["lazy-online", "eager-online"])
+    def test_online_algorithms(self, inst_path, capsys, algo):
+        assert main(["solve", inst_path, "--algorithm", algo]) == 0
+        assert "active_time=" in capsys.readouterr().out
+
+    def test_module_entrypoint(self, inst_path):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "solve", inst_path],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "active_time=2" in proc.stdout
+
+
+class TestInspect:
+    def test_inspect_laminar(self, inst_path, capsys):
+        assert main(["inspect", inst_path]) == 0
+        out = capsys.readouterr().out
+        assert "omega=" in out and "canonical forest" in out
+
+    def test_inspect_non_laminar(self, tmp_path, capsys):
+        path = tmp_path / "cross.json"
+        dump_instance(
+            Instance.from_triples([(0, 3, 1), (2, 5, 1)], g=1), path
+        )
+        assert main(["inspect", str(path)]) == 0
+        assert "not laminar" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Unit tests for the exact branch-and-bound solver."""
+
+import pytest
+
+from repro.baselines.exact import (
+    BudgetExceeded,
+    brute_force_optimum,
+    slot_classes,
+    solve_exact,
+)
+from repro.instances.generators import random_general, random_laminar
+from repro.instances.jobs import Instance, Job
+from repro.util.errors import InfeasibleInstanceError, SolverError
+
+
+class TestSlotClasses:
+    def test_laminar_classes_match_tree_regions(self, tiny_instance):
+        classes = slot_classes(tiny_instance)
+        # Windows [0,4), [0,2), [2,4) → signatures {0,1},{0,2}.
+        assert len(classes) == 2
+        sizes = sorted(c.size for c in classes)
+        assert sizes == [2, 2]
+
+    def test_uncovered_slots_excluded(self):
+        inst = Instance.from_triples([(0, 2, 1), (5, 7, 1)], g=1)
+        classes = slot_classes(inst)
+        slots = {t for c in classes for t in c.slots}
+        assert slots == {0, 1, 5, 6}
+
+    def test_crossing_windows_make_three_classes(self):
+        inst = Instance.from_triples([(0, 3, 1), (2, 5, 1)], g=1)
+        assert len(slot_classes(inst)) == 3
+
+
+class TestSolveExact:
+    def test_tiny_optimum(self, tiny_instance):
+        result = solve_exact(tiny_instance)
+        assert result.optimum == 2
+        assert result.schedule(tiny_instance).is_valid
+
+    def test_witness_slot_count_matches_optimum(self, medium_laminar):
+        result = solve_exact(medium_laminar)
+        sched = result.schedule(medium_laminar)
+        assert sched.active_time <= result.optimum
+        assert len(result.slots) == result.optimum
+
+    def test_empty_instance(self):
+        inst = Instance.from_triples([(0, 2, 1)], g=1).with_jobs([])
+        assert solve_exact(inst).optimum == 0
+
+    def test_budget_exceeded_raises(self, medium_laminar):
+        with pytest.raises(BudgetExceeded):
+            solve_exact(medium_laminar, node_budget=2)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_laminar(self, seed):
+        inst = random_laminar(6, 2, horizon=12, seed=seed)
+        assert solve_exact(inst).optimum == brute_force_optimum(inst)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_general(self, seed):
+        inst = random_general(5, 2, horizon=10, seed=seed)
+        try:
+            expected = brute_force_optimum(inst)
+        except SolverError:
+            pytest.skip("instance too wide for brute force")
+        assert solve_exact(inst).optimum == expected
+
+    def test_never_below_volume_bound(self):
+        from repro.baselines.lower_bounds import volume_bound
+
+        for seed in range(5):
+            inst = random_laminar(8, 3, horizon=18, seed=seed)
+            assert solve_exact(inst).optimum >= volume_bound(inst)
+
+
+class TestBruteForce:
+    def test_cap_respected(self):
+        inst = random_laminar(10, 2, horizon=60, seed=0, n_windows=12)
+        if len(list(inst.slots())) > 22:
+            with pytest.raises(SolverError):
+                brute_force_optimum(inst, max_slots=22)
+
+    def test_infeasible_detected(self):
+        inst = Instance(
+            jobs=(
+                Job(id=0, release=0, deadline=1, processing=1),
+                Job(id=1, release=0, deadline=1, processing=1),
+            ),
+            g=1,
+        )
+        with pytest.raises(InfeasibleInstanceError):
+            brute_force_optimum(inst)

@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "shift_scheduling.py",
+    "integrality_gap_tour.py",
+    "datacenter_energy.py",
+    "approximation_showdown.py",
+    "certified_batch_runs.py",
+]
+SLOW = ["hardness_reduction_demo.py"]  # exact-solves a 8100-job reduction
+
+
+def _run(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples_run(name):
+    proc = _run(name)
+    assert proc.returncode == 0, proc.stderr[-800:]
+    assert proc.stdout.strip(), "examples must narrate their results"
+
+
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_examples_run(name):
+    proc = _run(name)
+    assert proc.returncode == 0, proc.stderr[-800:]
+    assert "verified against brute force" in proc.stdout
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW)

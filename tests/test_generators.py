@@ -1,0 +1,81 @@
+"""Unit tests for random instance generators."""
+
+import pytest
+
+from repro.flow.feasibility import all_slots_feasible
+from repro.instances.generators import (
+    deep_chain,
+    laminar_suite,
+    random_general,
+    random_laminar,
+    random_unit_laminar,
+    wide_star,
+)
+
+
+class TestRandomLaminar:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_is_laminar_and_feasible(self, seed):
+        inst = random_laminar(10, 3, horizon=25, seed=seed)
+        assert inst.is_laminar
+        assert all_slots_feasible(inst)
+
+    def test_deterministic(self):
+        a = random_laminar(8, 2, seed=5)
+        b = random_laminar(8, 2, seed=5)
+        assert a.jobs == b.jobs
+
+    def test_different_seeds_differ(self):
+        a = random_laminar(8, 2, seed=1)
+        b = random_laminar(8, 2, seed=2)
+        assert a.jobs != b.jobs
+
+    def test_respects_horizon(self):
+        inst = random_laminar(10, 2, horizon=15, seed=0)
+        assert inst.horizon.start >= 0
+        assert inst.horizon.end <= 15
+
+    def test_unit_fraction_one_gives_unit_jobs(self):
+        inst = random_unit_laminar(10, 2, seed=3)
+        assert inst.is_unit
+
+    def test_p_max_respected(self):
+        inst = random_laminar(12, 2, horizon=30, p_max=2, seed=4)
+        assert max(j.processing for j in inst.jobs) <= 2
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            random_laminar(0, 2)
+
+
+class TestRandomGeneral:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasible(self, seed):
+        inst = random_general(8, 2, seed=seed)
+        assert all_slots_feasible(inst)
+
+    def test_can_produce_crossing_windows(self):
+        # Over many seeds at least one instance should be non-laminar.
+        assert any(
+            not random_general(10, 3, seed=s).is_laminar for s in range(10)
+        )
+
+
+class TestShapedFamilies:
+    def test_deep_chain_depth(self):
+        inst = deep_chain(5, 2, seed=0)
+        assert inst.is_laminar
+        # Windows nest: [0,10) ⊃ [0,8) ⊃ ... (one may collapse after drops)
+        assert len(inst.windows) >= 3
+
+    def test_wide_star_shape(self):
+        inst = wide_star(5, 3, seed=0)
+        assert inst.is_laminar
+        assert inst.horizon.length == 15
+
+    def test_laminar_suite_all_feasible(self):
+        suite = laminar_suite(seed=0, sizes=(5, 8))
+        assert len(suite) >= 8
+        for inst in suite:
+            assert inst.is_laminar
+            assert all_slots_feasible(inst)

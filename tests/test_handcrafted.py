@@ -1,0 +1,129 @@
+"""Tests for the even-spread crafted solutions (the C1/triples hard case).
+
+This is the deep exercise of Theorem 4.5: vertex LP solutions never
+produce type-C1 nodes (the budget rounds everything up), so the crafted
+even-spread optima are the only way to drive the rounding through the
+Lemma 4.13 feasibility argument — C1 groups lose their umbrella mass and
+the flow must re-route it through rounded-up C2 groups.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.rounding import APPROX_FACTOR, classify_topmost, round_solution
+from repro.core.transform import (
+    push_down,
+    verify_claim1,
+    verify_pushdown_invariant,
+)
+from repro.core.triples import build_triples, lemma_4_11_case
+from repro.flow.feasibility import node_feasible
+from repro.instances.handcrafted import (
+    even_spread_solution,
+    umbrella_groups,
+    verify_lp_feasible,
+)
+from repro.lp.nested_lp import solve_nested_lp
+from repro.tree.canonical import canonicalize
+
+PARAMS = [(2, 5), (2, 8), (3, 8), (4, 10), (5, 12)]
+
+
+def _pipeline(g, k):
+    cs = even_spread_solution(g, k)
+    tr = push_down(cs.canonical.forest, cs.x, cs.y)
+    rr = round_solution(cs.canonical.forest, tr.x, tr.topmost)
+    return cs, tr, rr
+
+
+class TestCraftedSolutionValidity:
+    @pytest.mark.parametrize("g,k", PARAMS)
+    def test_satisfies_all_lp_constraints(self, g, k):
+        assert verify_lp_feasible(even_spread_solution(g, k)) == []
+
+    @pytest.mark.parametrize("g,k", PARAMS)
+    def test_matches_lp_optimum(self, g, k):
+        cs = even_spread_solution(g, k)
+        lp = solve_nested_lp(cs.canonical)
+        assert cs.value == pytest.approx(lp.value, abs=1e-6)
+        assert cs.value == pytest.approx(k + 1 / g)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            even_spread_solution(1, 10)
+        with pytest.raises(ValueError):
+            even_spread_solution(2, 1)
+        with pytest.raises(ValueError):
+            umbrella_groups(2, 3, umbrella_volume=99)
+
+    @pytest.mark.parametrize("g,k", PARAMS)
+    def test_already_pushed_down(self, g, k):
+        """The crafted solution satisfies the Lemma 3.1 invariant as built."""
+        cs = even_spread_solution(g, k)
+        assert verify_pushdown_invariant(cs.canonical.forest, cs.x)
+
+
+class TestTypeStructure:
+    @pytest.mark.parametrize("g,k", PARAMS)
+    def test_every_group_is_type_c(self, g, k):
+        cs, tr, rr = _pipeline(g, k)
+        types = classify_topmost(
+            cs.canonical.forest, tr.x, rr.x_tilde, tr.topmost
+        )
+        assert set(types) == set(cs.group_nodes)
+        assert all(t.startswith("C") for t in types.values())
+
+    @pytest.mark.parametrize("g,k", PARAMS)
+    def test_c1_count_matches_budget_arithmetic(self, g, k):
+        """u round-ups satisfy u = max s.t. u+k+1 ≤ 9/5·(k + 1/g) + 1."""
+        cs, tr, rr = _pipeline(g, k)
+        types = Counter(
+            classify_topmost(
+                cs.canonical.forest, tr.x, rr.x_tilde, tr.topmost
+            ).values()
+        )
+        total = k + 1 / g
+        expected_roundups = int(np.floor(APPROX_FACTOR * total - k + 1e-9))
+        assert types["C2"] == min(expected_roundups, k)
+        assert types["C1"] == k - types["C2"]
+
+    @pytest.mark.parametrize("g,k", PARAMS)
+    def test_claim1_holds(self, g, k):
+        cs, tr, _ = _pipeline(g, k)
+        assert verify_claim1(cs.canonical.forest, tr.x, tr.topmost) == []
+
+
+class TestTheorem45HardCase:
+    @pytest.mark.parametrize("g,k", PARAMS)
+    def test_rounded_vector_feasible(self, g, k):
+        cs, _, rr = _pipeline(g, k)
+        assert node_feasible(
+            cs.canonical.instance,
+            cs.canonical.forest,
+            cs.canonical.job_node,
+            rr.x_tilde.astype(int),
+        ), "Theorem 4.5 failed on the C1-bearing crafted solution"
+
+    @pytest.mark.parametrize("g,k", PARAMS)
+    def test_budget_respected(self, g, k):
+        cs, tr, rr = _pipeline(g, k)
+        assert rr.x_tilde.sum() <= APPROX_FACTOR * tr.x.sum() + 1e-6
+
+    @pytest.mark.parametrize("g,k", PARAMS)
+    def test_triples_cover_all_c1(self, g, k):
+        cs, tr, rr = _pipeline(g, k)
+        tc = build_triples(cs.canonical.forest, tr.x, rr.x_tilde, tr.topmost)
+        assert tc.complete
+        for t in tc.triples:
+            assert lemma_4_11_case(cs.canonical.forest, t) in ("a", "b")
+
+    def test_lemma_4_9_counting_on_crafted(self):
+        cs, tr, rr = _pipeline(2, 10)
+        types = Counter(
+            classify_topmost(
+                cs.canonical.forest, tr.x, rr.x_tilde, tr.topmost
+            ).values()
+        )
+        assert types["C2"] >= 2 * types["C1"] > 0

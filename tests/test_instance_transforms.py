@@ -1,0 +1,71 @@
+"""Unit tests for instance-level transformations."""
+
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.instances.jobs import Instance
+from repro.instances.transforms import merge, normalize, split_independent
+
+
+class TestNormalize:
+    def test_shifts_to_zero(self):
+        inst = Instance.from_triples([(5, 9, 2), (6, 8, 1)], g=2)
+        shifted, offset = normalize(inst)
+        assert offset == 5
+        assert shifted.horizon.start == 0
+        assert shifted.jobs[0].deadline == 4
+
+    def test_noop_when_already_normalized(self, tiny_instance):
+        shifted, offset = normalize(tiny_instance)
+        assert offset == 0
+        assert shifted is tiny_instance
+
+    def test_preserves_optimum(self):
+        inst = Instance.from_triples([(5, 9, 2), (6, 8, 1)], g=2)
+        shifted, _ = normalize(inst)
+        assert solve_exact(inst).optimum == solve_exact(shifted).optimum
+
+
+class TestSplitIndependent:
+    def test_disjoint_jobs_split(self):
+        inst = Instance.from_triples([(0, 2, 1), (5, 7, 1), (10, 12, 2)], g=1)
+        parts = split_independent(inst)
+        assert len(parts) == 3
+
+    def test_overlapping_jobs_stay_together(self):
+        inst = Instance.from_triples([(0, 4, 1), (2, 6, 1), (5, 9, 1)], g=1)
+        assert len(split_independent(inst)) == 1
+
+    def test_touching_windows_split(self):
+        # [0,2) and [2,4) share no slot → independent.
+        inst = Instance.from_triples([(0, 2, 1), (2, 4, 1)], g=1)
+        assert len(split_independent(inst)) == 2
+
+    def test_optimum_additive_over_parts(self):
+        inst = Instance.from_triples(
+            [(0, 3, 2), (1, 3, 1), (6, 8, 1), (6, 8, 2)], g=2
+        )
+        parts = split_independent(inst)
+        assert len(parts) == 2
+        total = sum(solve_exact(p).optimum for p in parts)
+        assert total == solve_exact(inst).optimum
+
+
+class TestMerge:
+    def test_merge_inverts_split(self):
+        inst = Instance.from_triples([(0, 2, 1), (5, 7, 1)], g=2)
+        parts = split_independent(inst)
+        merged = merge(parts)
+        assert sorted(j.window for j in merged.jobs) == sorted(
+            j.window for j in inst.jobs
+        )
+
+    def test_merge_rejects_mixed_g(self):
+        a = Instance.from_triples([(0, 2, 1)], g=1)
+        b = Instance.from_triples([(5, 7, 1)], g=2)
+        with pytest.raises(ValueError):
+            merge([a, b])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge([])

@@ -1,0 +1,53 @@
+"""Unit tests for the ordered-greedy 2-approximation stand-in."""
+
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.baselines.kumar_khuller import (
+    kk_tight_family,
+    kumar_khuller_schedule,
+    kumar_khuller_slots,
+)
+from repro.baselines.minimal_feasible import is_minimal_feasible
+from repro.instances.families import greedy_trap, section5_gap
+from repro.instances.generators import laminar_suite
+
+
+class TestKKGreedy:
+    def test_produces_minimal_feasible(self, medium_laminar):
+        slots = kumar_khuller_slots(medium_laminar)
+        assert is_minimal_feasible(medium_laminar, slots)
+
+    def test_schedule_valid(self, medium_laminar):
+        assert kumar_khuller_schedule(medium_laminar).is_valid
+
+    def test_factor_two_on_suite(self):
+        """The cited KK guarantee, checked empirically on the suite."""
+        for inst in laminar_suite(seed=29, sizes=(6, 10, 14)):
+            val = kumar_khuller_schedule(inst).active_time
+            opt = solve_exact(inst).optimum
+            assert val <= 2 * opt, f"{inst.name}: {val} > 2*{opt}"
+
+    def test_factor_two_on_adversarial_families(self):
+        for g in (2, 3, 4):
+            for inst in (kk_tight_family(g), greedy_trap(g), section5_gap(g)):
+                val = kumar_khuller_schedule(inst).active_time
+                opt = solve_exact(inst).optimum
+                assert val <= 2 * opt, inst.name
+
+
+class TestTightFamily:
+    def test_shape(self):
+        inst = kk_tight_family(3)
+        assert inst.g == 3
+        assert inst.is_laminar
+        # 1 long job + g groups of g-1 pinned unit jobs.
+        assert inst.n == 1 + 3 * 2
+
+    def test_optimum_is_g(self):
+        for g in (2, 3):
+            assert solve_exact(kk_tight_family(g)).optimum == g
+
+    def test_rejects_small_g(self):
+        with pytest.raises(ValueError):
+            kk_tight_family(1)

@@ -1,0 +1,75 @@
+"""Unit tests for lower bounds (validity and relative strength)."""
+
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.baselines.lower_bounds import (
+    best_combinatorial_bound,
+    interval_bound,
+    longest_job_bound,
+    natural_lp_bound,
+    strengthened_lp_bound,
+    volume_bound,
+)
+from repro.instances.families import natural_gap, section5_gap
+from repro.instances.generators import laminar_suite
+from repro.instances.jobs import Instance
+from repro.util.numeric import SUM_EPS
+
+
+class TestIndividualBounds:
+    def test_volume_bound(self, tiny_instance):
+        assert volume_bound(tiny_instance) == 2  # 4 units / g=2
+
+    def test_longest_job_bound(self, single_job_instance):
+        assert longest_job_bound(single_job_instance) == 4
+
+    def test_interval_bound_beats_volume_on_pinned_groups(self):
+        # Two groups of g unit jobs pinned to disjoint 1-slot windows:
+        # volume bound = 2, interval bound also 2, but on a single pinned
+        # group with extra slack jobs the interval bound is sharper.
+        inst = Instance.from_triples(
+            [(0, 1, 1), (0, 1, 1), (0, 9, 1)], g=2
+        )
+        assert interval_bound(inst) >= 1
+        assert volume_bound(inst) == 2
+
+    def test_interval_bound_on_section5(self):
+        g = 3
+        inst = section5_gap(g)
+        # Every 2-slot group carries g units → bound >= g over [0,2g).
+        assert interval_bound(inst) >= g
+
+    def test_empty(self):
+        empty = Instance.from_triples([(0, 2, 1)], g=1).with_jobs([])
+        assert volume_bound(empty) == 0
+        assert longest_job_bound(empty) == 0
+        assert interval_bound(empty) == 0
+
+
+class TestValidity:
+    def test_all_bounds_below_optimum_on_suite(self):
+        for inst in laminar_suite(seed=41, sizes=(6, 9)):
+            opt = solve_exact(inst).optimum
+            assert volume_bound(inst) <= opt
+            assert longest_job_bound(inst) <= opt
+            assert interval_bound(inst) <= opt
+            assert best_combinatorial_bound(inst) <= opt
+            assert natural_lp_bound(inst) <= opt + SUM_EPS
+            assert strengthened_lp_bound(inst) <= opt + SUM_EPS
+
+
+class TestRelativeStrength:
+    def test_strengthened_dominates_natural_on_gap_family(self):
+        inst = natural_gap(4)
+        assert (
+            strengthened_lp_bound(inst)
+            >= natural_lp_bound(inst) + 0.5
+        )
+
+    def test_best_combinatorial_is_max(self, gap_instance):
+        assert best_combinatorial_bound(gap_instance) == max(
+            volume_bound(gap_instance),
+            longest_job_bound(gap_instance),
+            interval_bound(gap_instance),
+        )

@@ -1,0 +1,146 @@
+"""Unit tests for the LP modelling layer and both solver backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.backend import LinearProgram
+from repro.lp.simplex import SimplexSolver
+from repro.util.errors import SolverError
+
+
+def _toy_lp():
+    """min x + 2y  s.t.  x + y >= 3,  y <= 5,  x <= 2  → x=2, y=1, obj=4."""
+    lp = LinearProgram("toy")
+    lp.add_var("x", objective=1.0, upper=2.0)
+    lp.add_var("y", objective=2.0, upper=5.0)
+    lp.add_constraint({"x": 1, "y": 1}, ">=", 3)
+    return lp
+
+
+class TestModelling:
+    def test_duplicate_var_rejected(self):
+        lp = LinearProgram()
+        lp.add_var("x")
+        with pytest.raises(ValueError):
+            lp.add_var("x")
+
+    def test_unknown_var_in_constraint_rejected(self):
+        lp = LinearProgram()
+        lp.add_var("x")
+        with pytest.raises(KeyError):
+            lp.add_constraint({"zz": 1}, "<=", 1)
+
+    def test_bad_sense_rejected(self):
+        lp = LinearProgram()
+        lp.add_var("x")
+        with pytest.raises(ValueError):
+            lp.add_constraint({"x": 1}, "<", 1)
+
+    def test_zero_coefficients_dropped(self):
+        lp = LinearProgram()
+        lp.add_var("x")
+        lp.add_constraint({"x": 0.0}, "<=", 1)
+        parts = lp.compile()
+        assert parts["A_ub"].nnz == 0
+
+    def test_counts(self):
+        lp = _toy_lp()
+        assert lp.num_vars == 2
+        assert lp.num_constraints == 1
+
+
+class TestHighsBackend:
+    def test_toy_optimum(self):
+        sol = _toy_lp().solve(backend="highs")
+        assert sol.value == pytest.approx(4.0)
+        assert sol["x"] == pytest.approx(2.0)
+        assert sol["y"] == pytest.approx(1.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        lp.add_var("x", objective=1.0, upper=1.0)
+        lp.add_constraint({"x": 1}, ">=", 2)
+        with pytest.raises(SolverError):
+            lp.solve()
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        lp.add_var("x", objective=1.0)
+        lp.add_var("y", objective=1.0)
+        lp.add_constraint({"x": 1, "y": 2}, "==", 4)
+        sol = lp.solve()
+        assert sol.value == pytest.approx(2.0)  # y=2 is cheapest
+
+
+class TestSimplexBackend:
+    def test_toy_optimum(self):
+        sol = _toy_lp().solve(backend="simplex")
+        assert sol.value == pytest.approx(4.0)
+
+    def test_equality_and_lower_bounds(self):
+        lp = LinearProgram()
+        lp.add_var("x", objective=3.0, lower=1.0)
+        lp.add_var("y", objective=1.0)
+        lp.add_constraint({"x": 1, "y": 1}, "==", 5)
+        sol = lp.solve(backend="simplex")
+        assert sol.value == pytest.approx(3 * 1 + 4)
+
+    def test_infeasible_detected(self):
+        lp = LinearProgram()
+        lp.add_var("x", upper=1.0, objective=1.0)
+        lp.add_constraint({"x": 1}, ">=", 3)
+        with pytest.raises(SolverError):
+            lp.solve(backend="simplex")
+
+    def test_unbounded_detected(self):
+        c = np.array([-1.0])
+        a = np.zeros((0, 1))
+        b = np.zeros(0)
+        with pytest.raises(SolverError):
+            SimplexSolver(c, a, b).solve()
+
+    def test_degenerate_lp_terminates(self):
+        # Multiple constraints active at the optimum (Bland must not cycle).
+        lp = LinearProgram()
+        for name in "xyz":
+            lp.add_var(name, objective=1.0)
+        lp.add_constraint({"x": 1, "y": 1}, ">=", 1)
+        lp.add_constraint({"y": 1, "z": 1}, ">=", 1)
+        lp.add_constraint({"x": 1, "z": 1}, ">=", 1)
+        sol = lp.solve(backend="simplex")
+        assert sol.value == pytest.approx(1.5)
+
+
+@st.composite
+def random_lps(draw):
+    """Small random covering LPs (always feasible, always bounded)."""
+    n = draw(st.integers(1, 4))
+    m = draw(st.integers(1, 4))
+    costs = [draw(st.integers(1, 9)) for _ in range(n)]
+    rows = []
+    for _ in range(m):
+        coeffs = [draw(st.integers(0, 3)) for _ in range(n)]
+        if sum(coeffs) == 0:
+            coeffs[draw(st.integers(0, n - 1))] = 1
+        rhs = draw(st.integers(0, 10))
+        rows.append((coeffs, rhs))
+    return costs, rows
+
+
+class TestBackendAgreement:
+    @given(random_lps())
+    @settings(max_examples=50, deadline=None)
+    def test_simplex_matches_highs(self, spec):
+        costs, rows = spec
+        lp = LinearProgram()
+        for i, c in enumerate(costs):
+            lp.add_var(f"v{i}", objective=float(c))
+        for k, (coeffs, rhs) in enumerate(rows):
+            lp.add_constraint(
+                {f"v{i}": float(c) for i, c in enumerate(coeffs)}, ">=", rhs
+            )
+        a = lp.solve(backend="highs")
+        b = lp.solve(backend="simplex")
+        assert a.value == pytest.approx(b.value, abs=1e-6)

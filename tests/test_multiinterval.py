@@ -1,0 +1,157 @@
+"""Tests for the multi-interval generalization and the H_g greedy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instances.generators import random_laminar
+from repro.multiinterval import (
+    MultiInstance,
+    MultiJob,
+    coverage,
+    exact_optimum,
+    extract_assignment,
+    feasible,
+    harmonic,
+    random_multi_interval,
+    shift_family,
+    validate_assignment,
+    wolsey_greedy,
+)
+from repro.util.errors import InfeasibleInstanceError, InvalidInstanceError
+from repro.util.intervals import Interval
+
+
+class TestModel:
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiJob(id=0, processing=1, intervals=(Interval(0, 3), Interval(2, 5)))
+
+    def test_too_short_intervals_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiJob(id=0, processing=4, intervals=(Interval(0, 2),))
+
+    def test_intervals_sorted(self):
+        job = MultiJob(
+            id=0, processing=1, intervals=(Interval(5, 7), Interval(0, 2))
+        )
+        assert job.intervals[0].start == 0
+
+    def test_allowed_slots(self):
+        job = MultiJob(
+            id=0, processing=2, intervals=(Interval(0, 2), Interval(5, 6))
+        )
+        assert job.allowed_slots() == [0, 1, 5]
+        assert job.allows(5) and not job.allows(3)
+
+    def test_from_instance_adapter(self):
+        single = random_laminar(6, 2, horizon=14, seed=1)
+        multi = MultiInstance.from_instance(single)
+        assert multi.n == single.n
+        assert multi.total_volume == single.total_volume
+
+    def test_build_helper(self):
+        inst = MultiInstance.build([(2, [(0, 2), (4, 6)])], g=1)
+        assert inst.jobs[0].processing == 2
+        assert inst.candidate_slots == (0, 1, 4, 5)
+
+
+class TestCoverage:
+    def test_empty_slots_cover_nothing(self):
+        inst = MultiInstance.build([(1, [(0, 2)])], g=1)
+        assert coverage(inst, []) == 0
+
+    def test_monotone(self):
+        inst = random_multi_interval(6, 2, seed=3)
+        slots = list(inst.candidate_slots)
+        values = [coverage(inst, slots[:k]) for k in range(len(slots) + 1)]
+        assert values == sorted(values)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_submodular_marginals_shrink(self, seed):
+        """f(S+t) - f(S) >= f(T+t) - f(T) for S ⊆ T (diminishing returns)."""
+        import random as _r
+
+        inst = random_multi_interval(5, 2, seed=seed % 10, horizon=16)
+        slots = list(inst.candidate_slots)
+        if len(slots) < 3:
+            return
+        rng = _r.Random(seed)
+        t = rng.choice(slots)
+        rest = [s for s in slots if s != t]
+        small = rng.sample(rest, len(rest) // 3)
+        big = small + [
+            s for s in rest if s not in small and rng.random() < 0.5
+        ]
+        gain_small = coverage(inst, small + [t]) - coverage(inst, small)
+        gain_big = coverage(inst, big + [t]) - coverage(inst, big)
+        assert gain_small >= gain_big
+
+    def test_capacity_caps_coverage(self):
+        inst = MultiInstance.build([(1, [(0, 1)])] * 5, g=3)
+        assert coverage(inst, [0]) == 3
+
+    def test_extract_and_validate(self):
+        inst = random_multi_interval(7, 2, seed=5)
+        assignment = extract_assignment(inst, list(inst.candidate_slots))
+        assert assignment is not None
+        assert validate_assignment(inst, assignment) == []
+
+    def test_validator_catches_violations(self):
+        inst = MultiInstance.build([(1, [(0, 2)])], g=1)
+        assert validate_assignment(inst, {0: (5,)})  # disallowed slot
+        assert validate_assignment(inst, {})  # missing job
+        assert validate_assignment(inst, {0: (0, 1)})  # wrong volume
+
+
+class TestWolseyGreedy:
+    def test_simple_batch(self):
+        inst = MultiInstance.build([(1, [(0, 4)])] * 3, g=3)
+        result = wolsey_greedy(inst)
+        assert result.active_time == 1
+
+    def test_shift_family(self):
+        inst = shift_family(3, 3)
+        result = wolsey_greedy(inst)
+        assert validate_assignment(inst, result.assignment) == []
+        assert result.active_time == exact_optimum(inst)
+
+    def test_infeasible_raises(self):
+        inst = MultiInstance.build([(1, [(0, 1)])] * 3, g=2)
+        with pytest.raises(InfeasibleInstanceError):
+            wolsey_greedy(inst)
+
+    def test_marginals_nonincreasing(self):
+        inst = random_multi_interval(8, 3, seed=2)
+        result = wolsey_greedy(inst, prune=False)
+        gains = [gain for _, gain in result.picks]
+        assert gains == sorted(gains, reverse=True)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_within_harmonic_of_optimum(self, seed):
+        inst = random_multi_interval(6, 3, seed=seed, horizon=14)
+        result = wolsey_greedy(inst)
+        assert validate_assignment(inst, result.assignment) == []
+        opt = exact_optimum(inst)
+        assert opt <= result.active_time <= harmonic(inst.g) * opt + 1e-9
+
+    def test_pruning_never_breaks_feasibility(self):
+        inst = random_multi_interval(9, 2, seed=11, horizon=18)
+        result = wolsey_greedy(inst, prune=True)
+        assert feasible(inst, list(result.slots))
+
+    def test_matches_single_window_solvers(self):
+        """On single-window instances greedy competes with the library."""
+        from repro.baselines.exact import solve_exact
+
+        single = random_laminar(7, 2, horizon=14, seed=8)
+        multi = MultiInstance.from_instance(single)
+        result = wolsey_greedy(multi)
+        opt = solve_exact(single).optimum
+        assert opt <= result.active_time <= harmonic(single.g) * opt + 1e-9
+
+    def test_harmonic_values(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(25 / 12)

@@ -1,0 +1,69 @@
+"""Tests for the parallel battery runner and the adversarial search."""
+
+import pytest
+
+from repro.analysis.adversarial import (
+    AdversarialHit,
+    search_adversarial,
+    seeded_recipe,
+)
+from repro.analysis.parallel import run_battery
+from repro.baselines.minimal_feasible import minimal_feasible_schedule
+from repro.instances.generators import laminar_suite, random_laminar
+
+
+class TestRunBattery:
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            run_battery([], "nope")
+
+    def test_inprocess_matches_direct_calls(self):
+        from repro.core.algorithm import solve_nested
+
+        instances = laminar_suite(seed=13, sizes=(5,))[:3]
+        results = run_battery(instances, "solve_nested", max_workers=1)
+        for inst, res in zip(instances, results):
+            assert res["active_time"] == solve_nested(inst).active_time
+            assert res["repairs"] == 0
+
+    def test_process_pool_matches_inprocess(self):
+        instances = [random_laminar(6, 2, horizon=14, seed=s) for s in range(4)]
+        serial = run_battery(instances, "greedy", max_workers=1)
+        parallel = run_battery(instances, "greedy", max_workers=2)
+        assert serial == parallel
+
+    def test_exact_task_reports_budget_exhaustion(self):
+        instances = [random_laminar(6, 2, horizon=14, seed=1)]
+        results = run_battery(instances, "exact", max_workers=1)
+        assert results[0]["optimum"] is not None
+
+    def test_gaps_task(self):
+        instances = [random_laminar(6, 2, horizon=14, seed=2)]
+        res = run_battery(instances, "gaps", max_workers=1)[0]
+        assert res["natural_lp"] <= res["strengthened_lp"] + 1e-6
+
+
+class TestAdversarialSearch:
+    def test_finds_the_known_bad_seed(self):
+        algo = lambda inst: minimal_feasible_schedule(inst, "given").active_time
+        hits = search_adversarial(algo, seeds=[160, 1, 2], keep=3)
+        assert hits and hits[0].seed == 160
+        assert hits[0].ratio > 1.2
+
+    def test_hits_sorted_by_ratio(self):
+        algo = lambda inst: minimal_feasible_schedule(
+            inst, "densest_first"
+        ).active_time
+        hits = search_adversarial(algo, trials=30, keep=5)
+        ratios = [h.ratio for h in hits]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_recipe_reproducible(self):
+        assert seeded_recipe(160).jobs == seeded_recipe(160).jobs
+
+    def test_hit_fields_consistent(self):
+        algo = lambda inst: minimal_feasible_schedule(inst).active_time
+        hits = search_adversarial(algo, trials=10, keep=2)
+        for h in hits:
+            assert isinstance(h, AdversarialHit)
+            assert h.value >= h.optimum

@@ -1,0 +1,84 @@
+"""Unit tests for the prefix sum cover problem."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardness.prefix_sum_cover import (
+    PrefixSumCoverInstance,
+    brute_force_psc,
+    prefix_dominates,
+    psc_decision,
+)
+
+
+class TestPrefixDominates:
+    def test_equal_vectors(self):
+        assert prefix_dominates((2, 1), (2, 1))
+
+    def test_prefix_can_borrow_from_earlier(self):
+        # (3, 0) dominates (2, 1): prefixes 3>=2, 3>=3.
+        assert prefix_dominates((3, 0), (2, 1))
+
+    def test_later_surplus_does_not_help_earlier(self):
+        assert not prefix_dominates((1, 4), (2, 1))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            prefix_dominates((1,), (1, 2))
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=6),
+        st.lists(st.integers(0, 5), min_size=1, max_size=6),
+    )
+    def test_matches_naive_definition(self, a, b):
+        if len(a) != len(b):
+            return
+        naive = all(
+            sum(a[: j + 1]) >= sum(b[: j + 1]) for j in range(len(a))
+        )
+        assert prefix_dominates(tuple(a), tuple(b)) == naive
+
+
+class TestModelValidation:
+    def test_vectors_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PrefixSumCoverInstance(vectors=((0, 0),), target=(1, 1), k=1)
+
+    def test_vectors_must_be_nonincreasing(self):
+        with pytest.raises(ValueError):
+            PrefixSumCoverInstance(vectors=((1, 2),), target=(1, 1), k=1)
+
+    def test_target_must_be_nonincreasing(self):
+        with pytest.raises(ValueError):
+            PrefixSumCoverInstance(vectors=((2, 1),), target=(1, 2), k=1)
+
+    def test_max_scalar(self):
+        psc = PrefixSumCoverInstance(
+            vectors=((3, 1),), target=(5, 0), k=1
+        )
+        assert psc.max_scalar == 5
+
+
+class TestBruteForce:
+    def test_single_vector_suffices(self):
+        psc = PrefixSumCoverInstance(vectors=((3, 2),), target=(2, 2), k=1)
+        assert brute_force_psc(psc) == (0,)
+
+    def test_repeats_allowed(self):
+        psc = PrefixSumCoverInstance(vectors=((2, 1),), target=(4, 2), k=2)
+        assert brute_force_psc(psc) == (0, 0)
+
+    def test_infeasible(self):
+        psc = PrefixSumCoverInstance(vectors=((1, 1),), target=(9, 0), k=2)
+        assert brute_force_psc(psc) is None
+        assert not psc_decision(psc)
+
+    def test_check_rejects_oversized(self):
+        psc = PrefixSumCoverInstance(vectors=((2, 1),), target=(1, 0), k=1)
+        assert not psc.check((0, 0))
+        assert psc.check((0,))
+
+    def test_zero_target_needs_nothing(self):
+        psc = PrefixSumCoverInstance(vectors=((1, 1),), target=(0, 0), k=0)
+        assert brute_force_psc(psc) == ()

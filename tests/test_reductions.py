@@ -1,0 +1,132 @@
+"""Unit tests for the Section 6 reduction chain (both directions)."""
+
+import random
+
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.hardness.prefix_sum_cover import (
+    PrefixSumCoverInstance,
+    brute_force_psc,
+    psc_decision,
+)
+from repro.hardness.reductions import (
+    active_time_decision,
+    active_time_witness_to_psc,
+    psc_to_active_time,
+    set_cover_to_active_time,
+    set_cover_to_psc,
+    set_cover_witness_to_psc,
+)
+from repro.hardness.set_cover import (
+    SetCoverInstance,
+    brute_force_set_cover,
+    set_cover_decision,
+)
+
+
+def _random_set_cover(rng) -> SetCoverInstance:
+    d = rng.randint(2, 4)
+    n = rng.randint(2, 4)
+    sets = tuple(
+        frozenset(rng.sample(range(d), rng.randint(1, d))) for _ in range(n)
+    )
+    return SetCoverInstance(universe_size=d, sets=sets, k=rng.randint(1, n))
+
+
+class TestSetCoverToPSC:
+    def test_output_is_valid_restricted_psc(self):
+        sc = SetCoverInstance(
+            universe_size=3, sets=(frozenset({0, 2}), frozenset({1})), k=2
+        )
+        psc = set_cover_to_psc(sc)  # validation happens in the constructor
+        assert psc.n == 2 and psc.d == 3 and psc.k == 2
+
+    def test_decision_equivalence_randomized(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            sc = _random_set_cover(rng)
+            assert set_cover_decision(sc) == psc_decision(set_cover_to_psc(sc))
+
+    def test_witness_maps_forward(self):
+        rng = random.Random(8)
+        for _ in range(20):
+            sc = _random_set_cover(rng)
+            witness = brute_force_set_cover(sc)
+            if witness is None:
+                continue
+            psc = set_cover_to_psc(sc)
+            padded = set_cover_witness_to_psc(sc, witness)
+            assert len(padded) == sc.k
+            assert psc.check(padded)
+
+    def test_scalars_polynomially_bounded(self):
+        sc = SetCoverInstance(
+            universe_size=5,
+            sets=(frozenset(range(5)),) * 3,
+            k=3,
+        )
+        psc = set_cover_to_psc(sc)
+        # W ≤ O(k·d) per the restricted-problem requirement.
+        assert psc.max_scalar <= 3 * sc.k * sc.universe_size + 2 * sc.k + 2
+
+
+class TestPSCToActiveTime:
+    def _small_pscs(self):
+        yield PrefixSumCoverInstance(
+            vectors=((2, 1), (3, 3)), target=(3, 2), k=1
+        )
+        yield PrefixSumCoverInstance(
+            vectors=((2, 1), (2, 2), (1, 1)), target=(4, 2), k=2
+        )
+        yield PrefixSumCoverInstance(
+            vectors=((2,), (3,)), target=(5,), k=2
+        )
+        yield PrefixSumCoverInstance(  # infeasible target
+            vectors=((2, 1),), target=(6, 6), k=1
+        )
+
+    def test_instance_is_nested(self):
+        for psc in self._small_pscs():
+            red = psc_to_active_time(psc)
+            assert red.instance.is_laminar
+
+    def test_decision_equivalence(self):
+        for psc in self._small_pscs():
+            red = psc_to_active_time(psc)
+            want = psc_decision(psc)
+            assert active_time_decision(red) == want, psc
+
+    def test_non_special_slots_forced_open(self):
+        psc = PrefixSumCoverInstance(
+            vectors=((2, 1), (2, 2)), target=(2, 1), k=1
+        )
+        red = psc_to_active_time(psc)
+        result = solve_exact(red.instance)
+        opened = set(result.slots)
+        specials = set(red.special_slots)
+        non_special = {
+            t for t in red.instance.slots() if t not in specials
+        }
+        assert non_special <= opened
+        assert len(non_special) == red.base_open
+
+    def test_witness_maps_back(self):
+        psc = PrefixSumCoverInstance(
+            vectors=((2, 1), (3, 3)), target=(3, 2), k=1
+        )
+        red = psc_to_active_time(psc)
+        result = solve_exact(red.instance)
+        if result.optimum <= red.budget:
+            picks = active_time_witness_to_psc(red, result.slots)
+            assert psc.check(picks)
+
+
+class TestFullChain:
+    def test_set_cover_to_active_time_equivalence(self):
+        rng = random.Random(10)
+        for _ in range(4):
+            sc = _random_set_cover(rng)
+            red = set_cover_to_active_time(sc)
+            assert red.instance.is_laminar
+            assert active_time_decision(red) == set_cover_decision(sc)

@@ -1,0 +1,79 @@
+"""Unit tests for the set cover substrate."""
+
+import pytest
+
+from repro.hardness.set_cover import (
+    SetCoverInstance,
+    brute_force_set_cover,
+    greedy_set_cover,
+    set_cover_decision,
+)
+
+
+def _inst(d, sets, k):
+    return SetCoverInstance(
+        universe_size=d, sets=tuple(frozenset(s) for s in sets), k=k
+    )
+
+
+class TestModel:
+    def test_element_outside_universe_rejected(self):
+        with pytest.raises(ValueError):
+            _inst(2, [{0, 5}], 1)
+
+    def test_covers(self):
+        sc = _inst(3, [{0, 1}, {2}], 2)
+        assert sc.covers((0, 1))
+        assert not sc.covers((0,))
+
+
+class TestBruteForce:
+    def test_finds_minimum(self):
+        sc = _inst(4, [{0, 1}, {2, 3}, {0, 1, 2}], 3)
+        witness = brute_force_set_cover(sc)
+        assert witness is not None
+        assert len(witness) == 2
+        assert sc.covers(witness)
+
+    def test_respects_k(self):
+        sc = _inst(4, [{0}, {1}, {2}, {3}], 2)
+        assert brute_force_set_cover(sc) is None
+        assert not set_cover_decision(sc)
+
+    def test_decision_positive(self):
+        sc = _inst(2, [{0, 1}], 1)
+        assert set_cover_decision(sc)
+
+    def test_empty_choice_covers_nothing(self):
+        sc = _inst(1, [{0}], 0)
+        assert not set_cover_decision(sc)
+
+
+class TestGreedy:
+    def test_returns_a_cover(self):
+        sc = _inst(5, [{0, 1, 2}, {2, 3}, {3, 4}, {0}], 4)
+        chosen = greedy_set_cover(sc)
+        assert sc.covers(chosen)
+
+    def test_uncoverable_raises(self):
+        sc = _inst(3, [{0}], 1)
+        with pytest.raises(ValueError):
+            greedy_set_cover(sc)
+
+    def test_greedy_never_better_than_brute_force(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(15):
+            d = rng.randint(2, 5)
+            sets = [
+                frozenset(rng.sample(range(d), rng.randint(1, d)))
+                for _ in range(rng.randint(2, 5))
+            ]
+            if not frozenset().union(*sets) == frozenset(range(d)):
+                continue
+            sc = SetCoverInstance(universe_size=d, sets=tuple(sets), k=len(sets))
+            greedy = greedy_set_cover(sc)
+            best = brute_force_set_cover(sc)
+            assert best is not None
+            assert len(set(greedy)) >= len(best)

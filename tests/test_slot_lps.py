@@ -1,0 +1,105 @@
+"""Unit tests for the natural per-slot LP and the Călinescu–Wang LP."""
+
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.instances.families import (
+    natural_gap,
+    natural_gap_predictions,
+    section5_gap,
+)
+from repro.instances.generators import random_general, random_laminar
+from repro.instances.jobs import Instance, Job
+from repro.lp.cw_lp import forced_occupancy, solve_cw_lp
+from repro.lp.natural_lp import solve_natural_lp
+from repro.util.intervals import Interval
+from repro.util.numeric import SUM_EPS
+
+
+class TestForcedOccupancy:
+    def test_window_inside_interval(self):
+        job = Job(id=0, release=2, deadline=5, processing=2)
+        assert forced_occupancy(job, Interval(0, 10)) == 2
+
+    def test_interval_disjoint_from_window(self):
+        job = Job(id=0, release=2, deadline=5, processing=2)
+        assert forced_occupancy(job, Interval(6, 9)) == 0
+
+    def test_partial_overlap(self):
+        # Window [0,6), p=4; interval covers [0,3): outside has 3 slots,
+        # so at least 1 unit is forced inside.
+        job = Job(id=0, release=0, deadline=6, processing=4)
+        assert forced_occupancy(job, Interval(0, 3)) == 1
+
+    def test_paper_q_for_long_job(self):
+        # Lemma 5.1's q_{j0}: window [0,2g), p=g.
+        g = 4
+        job = Job(id=0, release=0, deadline=2 * g, processing=g)
+        assert forced_occupancy(job, Interval(0, g)) == 0
+        assert forced_occupancy(job, Interval(0, g + 2)) == 2
+
+
+class TestNaturalLP:
+    def test_gap_family_value(self):
+        for g in (2, 3, 5):
+            pred = natural_gap_predictions(g)
+            val = solve_natural_lp(natural_gap(g)).value
+            assert val == pytest.approx(pred["natural_lp"])
+
+    def test_lower_bounds_optimum(self):
+        for seed in range(4):
+            inst = random_laminar(8, 2, horizon=16, seed=seed)
+            lp = solve_natural_lp(inst).value
+            assert lp <= solve_exact(inst).optimum + SUM_EPS
+
+    def test_works_on_non_laminar(self):
+        inst = random_general(6, 2, horizon=12, seed=3)
+        lp = solve_natural_lp(inst).value
+        assert lp <= solve_exact(inst).optimum + SUM_EPS
+
+    def test_solution_respects_slot_caps(self):
+        inst = natural_gap(3)
+        sol = solve_natural_lp(inst)
+        for t, v in sol.x.items():
+            assert -SUM_EPS <= v <= 1 + SUM_EPS
+        loads: dict[int, float] = {}
+        for (t, _), v in sol.y.items():
+            loads[t] = loads.get(t, 0.0) + v
+        for t, load in loads.items():
+            assert load <= inst.g * sol.x[t] + SUM_EPS
+
+    def test_rigid_instance_is_integral(self):
+        inst = Instance.from_triples([(0, 3, 3)], g=2)
+        assert solve_natural_lp(inst).value == pytest.approx(3.0)
+
+
+class TestCWLP:
+    def test_at_least_natural(self):
+        for seed in range(3):
+            inst = random_laminar(7, 2, horizon=14, seed=seed)
+            assert (
+                solve_cw_lp(inst).value
+                >= solve_natural_lp(inst).value - SUM_EPS
+            )
+
+    def test_closes_natural_gap_family(self):
+        # g+1 unit jobs in [0,2): q over [0,2) forces ceil((g+1)/g)=2 slots.
+        inst = natural_gap(4)
+        assert solve_cw_lp(inst).value == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("g", [2, 3, 4])
+    def test_section5_value_at_most_g_plus_2(self, g):
+        """Lemma 5.1: the explicit fractional solution has value g+2."""
+        val = solve_cw_lp(section5_gap(g)).value
+        assert val <= g + 2 + SUM_EPS
+
+    @pytest.mark.parametrize("g", [2, 3, 4])
+    def test_section5_gap_at_least_predicted(self, g):
+        opt = solve_exact(section5_gap(g)).optimum
+        val = solve_cw_lp(section5_gap(g)).value
+        assert opt / val >= (g + g // 2) / (g + 2) - SUM_EPS
+
+    def test_lower_bounds_optimum(self):
+        for seed in range(3):
+            inst = random_laminar(7, 3, horizon=14, seed=seed + 20)
+            assert solve_cw_lp(inst).value <= solve_exact(inst).optimum + SUM_EPS

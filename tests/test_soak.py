@@ -1,0 +1,80 @@
+"""Randomized cross-validation campaign over the whole stack.
+
+Each seed builds one instance and runs every solver and bound against
+each other; any inconsistency (a solver beating the exact optimum, a
+bound exceeding it, a guarantee violated, an invalid schedule) fails the
+seed.  The default width keeps the suite fast; widen via the
+``REPRO_SOAK_TRIALS`` environment variable for longer campaigns:
+
+    REPRO_SOAK_TRIALS=500 pytest tests/test_soak.py
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.baselines.kumar_khuller import kumar_khuller_schedule
+from repro.baselines.lower_bounds import (
+    best_combinatorial_bound,
+    strengthened_lp_bound,
+)
+from repro.baselines.minimal_feasible import minimal_feasible_schedule
+from repro.core.algorithm import solve_nested
+from repro.core.rounding import APPROX_FACTOR
+from repro.instances.generators import random_laminar
+from repro.simulate.machine import BatchMachine
+from repro.util.numeric import SUM_EPS
+
+TRIALS = int(os.environ.get("REPRO_SOAK_TRIALS", "40"))
+
+
+def _instance(seed: int):
+    rng = random.Random(seed + 777_000)
+    return random_laminar(
+        rng.randint(4, 16),
+        rng.randint(1, 6),
+        horizon=rng.randint(8, 34),
+        seed=seed,
+        unit_fraction=rng.random(),
+    )
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_cross_validation_campaign(seed):
+    inst = _instance(seed)
+
+    nested = solve_nested(inst)
+    assert nested.repairs == 0
+    assert nested.schedule.is_valid
+    greedy = minimal_feasible_schedule(inst, "given")
+    kk = kumar_khuller_schedule(inst)
+    lp = nested.lp_value
+    comb = best_combinatorial_bound(inst)
+
+    try:
+        opt = solve_exact(inst, node_budget=300_000).optimum
+    except BudgetExceeded:
+        opt = None
+
+    # Bound sanity chain.
+    assert comb <= (opt if opt is not None else greedy.active_time)
+    assert lp <= (opt if opt is not None else greedy.active_time) + SUM_EPS
+    assert abs(strengthened_lp_bound(inst) - lp) < 1e-6
+
+    # Guarantee chain.
+    assert nested.active_time <= APPROX_FACTOR * lp + SUM_EPS
+    if opt is not None:
+        assert opt <= nested.active_time <= APPROX_FACTOR * opt + SUM_EPS
+        assert opt <= kk.active_time <= 2 * opt
+        assert opt <= greedy.active_time <= 3 * opt
+
+    # The simulator executes every schedule cleanly.
+    machine = BatchMachine(g=inst.g)
+    for sched in (nested.schedule, greedy, kk):
+        sim = machine.run(sched)
+        assert sim.all_finished
+        assert sim.active_slots == sched.active_time

@@ -1,0 +1,94 @@
+"""Stress campaign for Theorem 4.5 over non-canonical LP solutions.
+
+The rounding's feasibility proof must hold for *any* feasible LP (1)
+solution (after push-down), not just the uniform-objective vertex optimum.
+We drive it with randomly re-weighted vertex solutions and with convex
+combinations of two different vertices (non-vertex points, the regime the
+triple analysis exists for), and assert flow feasibility of the rounded
+vector every time.
+"""
+
+import pytest
+
+from repro.core.rounding import APPROX_FACTOR, round_solution
+from repro.core.transform import push_down, verify_pushdown_invariant
+from repro.flow.feasibility import node_feasible
+from repro.instances.generators import random_laminar
+from repro.instances.handcrafted import even_spread_solution
+from repro.lp.nested_lp import solve_nested_lp
+from repro.lp.perturbed import convex_combination, solve_with_weights
+from repro.tree.canonical import canonicalize
+from repro.util.numeric import SUM_EPS
+
+
+def _round_and_check(canonical, x, y) -> tuple[bool, float, float]:
+    tr = push_down(canonical.forest, x, y)
+    assert verify_pushdown_invariant(canonical.forest, tr.x)
+    rr = round_solution(canonical.forest, tr.x, tr.topmost)
+    ok = node_feasible(
+        canonical.instance,
+        canonical.forest,
+        canonical.job_node,
+        rr.x_tilde.astype(int),
+    )
+    return ok, float(tr.x.sum()), float(rr.x_tilde.sum())
+
+
+class TestReweightedVertices:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_rounding_feasible_for_suboptimal_vertices(self, seed):
+        inst = random_laminar(
+            9 + seed % 6, (seed % 4) + 1, horizon=22, seed=seed,
+            unit_fraction=0.5,
+        )
+        canonical = canonicalize(inst)
+        sol = solve_with_weights(canonical, seed=seed * 7 + 1)
+        ok, lp_total, rounded = _round_and_check(canonical, sol.x, sol.y)
+        assert ok, f"Theorem 4.5 failed (reweighted, seed {seed})"
+        assert rounded <= APPROX_FACTOR * lp_total + SUM_EPS
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_weighted_solutions_cost_at_least_the_optimum(self, seed):
+        inst = random_laminar(8, 2, horizon=18, seed=seed)
+        canonical = canonicalize(inst)
+        optimum = solve_nested_lp(canonical).value
+        weighted = solve_with_weights(canonical, seed=seed)
+        assert weighted.value >= optimum - SUM_EPS
+
+
+class TestConvexCombinations:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_non_vertex_solutions_round_feasibly(self, seed):
+        inst = random_laminar(
+            10, (seed % 3) + 2, horizon=24, seed=100 + seed, unit_fraction=0.5
+        )
+        canonical = canonicalize(inst)
+        a = solve_nested_lp(canonical)
+        b = solve_with_weights(canonical, seed=seed)
+        for lam in (0.25, 0.5, 0.8):
+            mix = convex_combination(a, b, lam)
+            ok, lp_total, rounded = _round_and_check(canonical, mix.x, mix.y)
+            assert ok, f"Theorem 4.5 failed (mix lam={lam}, seed {seed})"
+            assert rounded <= APPROX_FACTOR * lp_total + SUM_EPS
+
+    def test_lam_validation(self):
+        inst = random_laminar(6, 2, horizon=14, seed=1)
+        canonical = canonicalize(inst)
+        a = solve_nested_lp(canonical)
+        with pytest.raises(ValueError):
+            convex_combination(a, a, 1.5)
+
+    def test_mixing_crafted_with_vertex(self):
+        """Blend the even-spread optimum with the vertex optimum: still
+        feasible after rounding at every mixing weight."""
+        cs = even_spread_solution(3, 9)
+        vertex = solve_nested_lp(cs.canonical)
+        from repro.lp.nested_lp import NestedLPSolution
+
+        crafted = NestedLPSolution(
+            value=cs.value, x=cs.x, y=cs.y, thresholds=vertex.thresholds
+        )
+        for lam in (0.0, 0.3, 0.7, 1.0):
+            mix = convex_combination(crafted, vertex, lam)
+            ok, _, _ = _round_and_check(cs.canonical, mix.x, mix.y)
+            assert ok, f"Theorem 4.5 failed at lam={lam}"

@@ -1,0 +1,95 @@
+"""Unit tests for the Lemma 3.1 push-down transformation and Claim 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.transform import (
+    push_down,
+    verify_claim1,
+    verify_pushdown_invariant,
+)
+from repro.instances.generators import random_laminar
+from repro.lp.nested_lp import solve_nested_lp
+from repro.tree.canonical import canonicalize
+from repro.util.numeric import SUM_EPS
+
+
+def _transformed(seed, n=10, g=3, horizon=24):
+    inst = random_laminar(n, g, horizon=horizon, seed=seed, unit_fraction=0.3)
+    canon = canonicalize(inst)
+    sol = solve_nested_lp(canon)
+    return canon, sol, push_down(canon.forest, sol.x, sol.y)
+
+
+class TestPushDown:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_invariant_holds_after_transform(self, seed):
+        canon, _, tr = _transformed(seed)
+        assert verify_pushdown_invariant(canon.forest, tr.x)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_objective_preserved(self, seed):
+        _, sol, tr = _transformed(seed)
+        assert tr.x.sum() == pytest.approx(sol.x.sum(), abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_volume_preserved_per_job(self, seed):
+        _, sol, tr = _transformed(seed)
+        np.testing.assert_allclose(
+            tr.y.sum(axis=0), sol.y.sum(axis=0), atol=1e-6
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_solution_stays_lp_feasible(self, seed):
+        canon, sol, tr = _transformed(seed)
+        forest = canon.forest
+        g = canon.instance.g
+        for i in range(forest.m):
+            assert tr.x[i] <= forest.length(i) + SUM_EPS
+            assert tr.y[i, :].sum() <= g * tr.x[i] + SUM_EPS
+            for pos in range(canon.instance.n):
+                assert tr.y[i, pos] <= tr.x[i] + SUM_EPS
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_admissibility_preserved(self, seed):
+        canon, _, tr = _transformed(seed)
+        forest = canon.forest
+        for pos, job in enumerate(canon.instance.jobs):
+            admissible = set(forest.descendants(canon.job_node[job.id]))
+            for i in range(forest.m):
+                if tr.y[i, pos] > SUM_EPS:
+                    assert i in admissible
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_claim1_properties(self, seed):
+        canon, _, tr = _transformed(seed)
+        assert verify_claim1(canon.forest, tr.x, tr.topmost) == []
+
+    def test_already_pushed_solution_is_fixed_point(self):
+        canon, _, tr = _transformed(3)
+        again = push_down(canon.forest, tr.x, tr.y)
+        np.testing.assert_allclose(again.x, tr.x, atol=1e-9)
+        assert again.moves == 0
+
+    def test_figure1_style_example(self):
+        """Hand-built: mass at a root with an unsaturated child moves down."""
+        from repro.instances.jobs import Instance
+
+        inst = Instance.from_triples([(0, 6, 1), (0, 2, 2)], g=1)
+        canon = canonicalize(inst)
+        forest = canon.forest
+        # Put the root job's fraction at the root explicitly.
+        x = np.zeros(forest.m)
+        y = np.zeros((forest.m, 2))
+        root = canon.forest.roots[0]
+        child = canon.job_node[1]
+        x[root] = 1.0
+        x[child] = 1.0
+        y[root, 0] = 1.0
+        y[child, 1] = 1.0
+        tr = push_down(forest, x, y)
+        assert verify_pushdown_invariant(forest, tr.x)
+        # Root mass moved into the child region (child has length 2).
+        assert tr.x[root] == 0.0 or all(
+            tr.x[d] == forest.length(d) for d in forest.strict_descendants(root)
+        )

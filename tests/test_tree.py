@@ -1,0 +1,134 @@
+"""Unit tests for window-forest construction and queries (Section 2)."""
+
+import pytest
+
+from repro.instances.jobs import Instance
+from repro.tree.laminar import build_forest
+from repro.tree.node import TreeNode, WindowForest
+from repro.util.errors import InvalidInstanceError, NotLaminarError
+from repro.util.intervals import Interval
+
+
+@pytest.fixture()
+def three_level():
+    # [0,10) over [0,4) and [5,9); [0,4) over [1,3).
+    inst = Instance.from_triples(
+        [(0, 10, 2), (0, 4, 1), (5, 9, 2), (1, 3, 1)], g=2, name="three_level"
+    )
+    forest, job_node = build_forest(inst)
+    return inst, forest, job_node
+
+
+class TestBuildForest:
+    def test_one_node_per_distinct_window(self, three_level):
+        _, forest, _ = three_level
+        assert forest.m == 4
+
+    def test_rejects_crossing(self, crossing_instance):
+        with pytest.raises(NotLaminarError):
+            build_forest(crossing_instance)
+
+    def test_parent_child_relations(self, three_level):
+        _, forest, _ = three_level
+        root = forest.roots[0]
+        assert forest.nodes[root].interval == Interval(0, 10)
+        kids = {forest.nodes[c].interval for c in forest.nodes[root].children}
+        assert kids == {Interval(0, 4), Interval(5, 9)}
+
+    def test_duplicate_windows_share_a_node(self):
+        inst = Instance.from_triples([(0, 4, 1), (0, 4, 2)], g=2)
+        forest, job_node = build_forest(inst)
+        assert forest.m == 1
+        assert job_node[0] == job_node[1]
+
+    def test_job_node_mapping(self, three_level):
+        inst, forest, job_node = three_level
+        for job in inst.jobs:
+            assert forest.nodes[job_node[job.id]].interval == job.window
+
+    def test_forest_with_multiple_roots(self):
+        inst = Instance.from_triples([(0, 2, 1), (5, 7, 1)], g=1)
+        forest, _ = build_forest(inst)
+        assert len(forest.roots) == 2
+
+
+class TestForestQueries:
+    def test_descendants_include_self(self, three_level):
+        _, forest, _ = three_level
+        root = forest.roots[0]
+        assert set(forest.descendants(root)) == set(range(forest.m))
+        leaf = forest.leaves()[0]
+        assert forest.descendants(leaf) == [leaf]
+
+    def test_strict_variants_exclude_self(self, three_level):
+        _, forest, _ = three_level
+        root = forest.roots[0]
+        assert root not in forest.strict_descendants(root)
+        assert root not in forest.strict_ancestors(root)
+
+    def test_ancestors_bottom_up(self, three_level):
+        _, forest, _ = three_level
+        deepest = max(range(forest.m), key=lambda i: forest.depth[i])
+        anc = forest.ancestors(deepest)
+        assert anc[0] == deepest
+        assert forest.nodes[anc[-1]].parent is None
+
+    def test_is_ancestor_matches_interval_containment(self, three_level):
+        _, forest, _ = three_level
+        for a in range(forest.m):
+            for b in range(forest.m):
+                expected = forest.nodes[a].interval.contains_interval(
+                    forest.nodes[b].interval
+                )
+                # For laminar distinct windows containment == ancestry.
+                assert forest.is_ancestor(a, b) == expected
+
+    def test_length_excludes_children(self, three_level):
+        _, forest, _ = three_level
+        root = forest.roots[0]
+        # |[0,10)| - |[0,4)| - |[5,9)| = 10 - 4 - 4 = 2
+        assert forest.length(root) == 2
+
+    def test_exclusive_slots_match_length(self, three_level):
+        _, forest, _ = three_level
+        for i in range(forest.m):
+            slots = forest.exclusive_slots(i)
+            assert len(slots) == forest.length(i)
+            node = forest.nodes[i]
+            for t in slots:
+                assert t in node.interval
+                for c in node.children:
+                    assert t not in forest.nodes[c].interval
+
+    def test_node_at_slot_deepest(self, three_level):
+        _, forest, _ = three_level
+        # Slot 2 lies in [0,10) ⊃ [0,4) ⊃ [1,3).
+        idx = forest.node_at_slot(2)
+        assert forest.nodes[idx].interval == Interval(1, 3)
+        assert forest.node_at_slot(99) is None
+
+    def test_postorder_children_before_parents(self, three_level):
+        _, forest, _ = three_level
+        pos = {i: k for k, i in enumerate(forest.postorder)}
+        for node in forest.nodes:
+            for c in node.children:
+                assert pos[c] < pos[node.index]
+
+    def test_preorder_parents_before_children(self, three_level):
+        _, forest, _ = three_level
+        pos = {i: k for k, i in enumerate(forest.preorder)}
+        for node in forest.nodes:
+            for c in node.children:
+                assert pos[c] > pos[node.index]
+
+
+class TestWindowForestValidation:
+    def test_index_mismatch_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            WindowForest([TreeNode(index=1, interval=Interval(0, 2))])
+
+    def test_child_not_inside_parent_rejected(self):
+        a = TreeNode(index=0, interval=Interval(0, 2), children=[1])
+        b = TreeNode(index=1, interval=Interval(1, 5), parent=0)
+        with pytest.raises(InvalidInstanceError):
+            WindowForest([a, b])
