@@ -1,0 +1,153 @@
+"""E14 — solver service: cold vs warm battery through the solve cache.
+
+Not a paper table; this measures the engineering claim behind the solver
+service layer: a battery re-run over the same instances (the common
+shape of gap sweeps and regression suites) is answered entirely from the
+content-addressed solve cache — zero backend solves — and the fallback
+chain adds no overhead on the happy path.
+
+Printed table: per phase (cold/warm) the wall time, LP solve requests,
+cache hits, and per-backend solve counts.  Runnable standalone for CI::
+
+    PYTHONPATH=src python benchmarks/bench_e14_solver_cache.py --smoke
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.parallel import run_battery
+from repro.analysis.tables import print_table, render_table
+from repro.instances.generators import laminar_suite
+from repro.solver import (
+    SolverService,
+    set_service,
+    solver_stats,
+    stats_delta,
+)
+
+_FULL_SIZES = (6, 10, 16, 24)
+_SMOKE_SIZES = (5, 8)
+
+
+def _phase_row(name: str, wall: float, delta: dict) -> list:
+    per_backend = delta.get("backends", {})
+    return [
+        name,
+        f"{wall * 1e3:.1f}",
+        delta["solves"],
+        delta["cache_hits"],
+        per_backend.get("highs", {}).get("solves", 0),
+        per_backend.get("simplex", {}).get("solves", 0),
+        delta["fallbacks"],
+    ]
+
+
+def run_cold_warm(sizes=_FULL_SIZES, seed=2022, task="solve_nested"):
+    """Run one battery cold then warm on a fresh service; return rows +
+    the two stats deltas."""
+    instances = laminar_suite(seed=seed, sizes=sizes)
+    service = SolverService()
+    previous = set_service(service)
+    try:
+        rows = []
+        deltas = []
+        for phase in ("cold", "warm"):
+            before = solver_stats()
+            t0 = perf_counter()
+            run_battery(instances, task, max_workers=1)
+            wall = perf_counter() - t0
+            delta = stats_delta(solver_stats(), before)
+            rows.append(_phase_row(phase, wall, delta))
+            deltas.append(delta)
+        return instances, rows, deltas
+    finally:
+        set_service(previous)
+
+
+_HEADERS = [
+    "phase",
+    "wall [ms]",
+    "lp solves",
+    "cache hits",
+    "highs",
+    "simplex",
+    "fallbacks",
+]
+
+
+@pytest.fixture(scope="module")
+def e14_table():
+    instances, rows, deltas = run_cold_warm()
+    print_table(
+        _HEADERS,
+        rows,
+        title=f"E14 — solve cache, battery of {len(instances)} instances",
+    )
+    return rows, deltas
+
+
+class TestSolverCache:
+    def test_warm_run_is_pure_cache(self, e14_table):
+        _, (cold, warm) = e14_table
+        assert cold["cache_misses"] > 0
+        backend_solves = sum(
+            p["solves"] for p in warm.get("backends", {}).values()
+        )
+        assert backend_solves == 0
+        assert warm["cache_hits"] == warm["solves"] > 0
+
+    def test_warm_battery_benchmark(self, benchmark, e14_table):
+        """Time the warm path: battery answered entirely from cache."""
+        instances = laminar_suite(seed=2022, sizes=_FULL_SIZES)
+        service = SolverService()
+        previous = set_service(service)
+        try:
+            run_battery(instances, "solve_nested", max_workers=1)  # warm up
+            run_once(
+                benchmark, run_battery, instances, "solve_nested", max_workers=1
+            )
+            delta = solver_stats()
+            assert delta["cache_hits"] > 0
+        finally:
+            set_service(previous)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small battery for CI: fast, still asserts the warm run "
+        "performs zero backend solves",
+    )
+    args = parser.parse_args(argv)
+    sizes = _SMOKE_SIZES if args.smoke else _FULL_SIZES
+    instances, rows, (cold, warm) = run_cold_warm(sizes=sizes)
+    print(
+        render_table(
+            _HEADERS,
+            rows,
+            title=f"E14 — solve cache, battery of {len(instances)} instances",
+        )
+    )
+    warm_backend_solves = sum(
+        p["solves"] for p in warm.get("backends", {}).values()
+    )
+    if warm_backend_solves != 0:
+        print(f"FAIL: warm battery performed {warm_backend_solves} backend solves")
+        return 1
+    if cold["cache_misses"] == 0:
+        print("FAIL: cold battery hit the cache (stale state?)")
+        return 1
+    print("ok: warm battery answered entirely from cache")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,9 +10,9 @@ from pathlib import Path
 
 PACKAGES = [
     "repro", "repro.instances", "repro.tree", "repro.flow", "repro.lp",
-    "repro.core", "repro.baselines", "repro.hardness", "repro.analysis",
-    "repro.simulate", "repro.multiinterval", "repro.online", "repro.busytime",
-    "repro.util",
+    "repro.solver", "repro.core", "repro.baselines", "repro.hardness",
+    "repro.analysis", "repro.simulate", "repro.multiinterval", "repro.online",
+    "repro.busytime", "repro.util",
 ]
 
 

@@ -14,6 +14,7 @@ Subpackages
 ``repro.tree``       laminar window forests and canonicalization
 ``repro.flow``       Dinic max-flow and feasibility tests
 ``repro.lp``         the strengthened tree LP, natural LP, CW LP, simplex
+``repro.solver``     solver service: solve cache, backend fallback, stats
 ``repro.core``       the 9/5-approximation pipeline (the paper's result)
 ``repro.baselines``  greedy 3-/2-approximations, exact search, bounds
 ``repro.hardness``   Section 6: prefix sum cover and both reductions

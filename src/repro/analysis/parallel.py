@@ -4,7 +4,16 @@ Experiment sweeps (E1/E5-style) are embarrassingly parallel across
 instances; this module fans them out over a process pool.  Workers
 receive serialized instances (the JSON dict form — cheap and robust to
 pickle across processes) and a *named* task so the callable itself never
-crosses the process boundary.
+crosses the process boundary.  The in-process short-circuit
+(``max_workers=1`` or a single instance) skips the serialization
+round-trip entirely.
+
+A failing task raises :class:`~repro.util.errors.BatteryTaskError`
+naming the task and the offending instance (name and battery index), so
+a crash in a large sweep is attributable; the original exception is
+chained.  Pass ``collect_stats=True`` to attach a per-instance solver
+service delta (solves, cache hits, backend counts, wall time) to each
+result dict under ``"solver_stats"``.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from typing import Any, Sequence
 
 from repro.instances.io import instance_from_dict, instance_to_dict
 from repro.instances.jobs import Instance
+from repro.util.errors import BatteryTaskError
 
 #: Registry of tasks a worker can run; values map instance → result dict.
 _TASKS = {}
@@ -75,10 +85,36 @@ def _task_gaps(instance: Instance) -> dict[str, Any]:
     return out
 
 
-def _worker(payload: tuple[str, dict]) -> dict[str, Any]:
-    task_name, doc = payload
-    instance = instance_from_dict(doc)
-    return _TASKS[task_name](instance)
+def _run_task(
+    task_name: str, instance: Instance, index: int, collect_stats: bool
+) -> dict[str, Any]:
+    """Run one task with failure context and optional stats delta."""
+    if collect_stats:
+        from repro.solver import solver_stats
+        from repro.solver.stats import stats_delta
+
+        before = solver_stats()
+    try:
+        result = _TASKS[task_name](instance)
+    except BatteryTaskError:
+        raise
+    except Exception as exc:
+        raise BatteryTaskError(
+            f"task {task_name!r} failed on instance {instance.name!r} "
+            f"(battery index {index}): {exc}",
+            task=task_name,
+            instance=instance.name,
+            index=index,
+        ) from exc
+    if collect_stats:
+        result = dict(result)
+        result["solver_stats"] = stats_delta(solver_stats(), before)
+    return result
+
+
+def _worker(payload: tuple[str, dict, int, bool]) -> dict[str, Any]:
+    task_name, doc, index, collect_stats = payload
+    return _run_task(task_name, instance_from_dict(doc), index, collect_stats)
 
 
 def run_battery(
@@ -87,17 +123,28 @@ def run_battery(
     *,
     max_workers: int | None = None,
     chunksize: int = 1,
+    collect_stats: bool = False,
 ) -> list[dict[str, Any]]:
     """Run a registered task over instances with a process pool.
 
     Results come back in input order.  ``max_workers=1`` short-circuits
     to in-process execution (useful under debuggers and on single-core
-    CI), keeping behaviour identical.
+    CI) without any serialization round-trip, keeping behaviour
+    identical.  With ``collect_stats=True`` every result dict carries a
+    ``"solver_stats"`` key: the solver service counters attributable to
+    that instance (a snapshot delta, valid both in-process and per
+    worker process).
     """
     if task not in _TASKS:
         raise ValueError(f"unknown task {task!r}; have {sorted(_TASKS)}")
-    payloads = [(task, instance_to_dict(inst)) for inst in instances]
     if max_workers == 1 or len(instances) <= 1:
-        return [_worker(p) for p in payloads]
+        return [
+            _run_task(task, inst, idx, collect_stats)
+            for idx, inst in enumerate(instances)
+        ]
+    payloads = [
+        (task, instance_to_dict(inst), idx, collect_stats)
+        for idx, inst in enumerate(instances)
+    ]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(_worker, payloads, chunksize=chunksize))

@@ -50,7 +50,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     if args.algorithm == "nested":
-        result = solve_nested(instance)
+        result = solve_nested(instance, backend=args.backend)
         schedule = result.schedule
         print(result.summary())
     elif args.algorithm == "greedy":
@@ -156,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="active-time",
         description="Nested active-time scheduling toolkit (SPAA 2022 reproduction)",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print solver service counters (solves, cache hits, backends) "
+        "after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="sample an instance to JSON")
@@ -175,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         default="nested",
         choices=["nested", "greedy", "kk", "exact", "lazy-online", "eager-online"],
+    )
+    solve.add_argument(
+        "--backend",
+        default=None,
+        choices=["highs", "simplex"],
+        help="pin the LP backend (default: service fallback chain)",
     )
     solve.add_argument("--output", help="write the schedule JSON here")
     solve.add_argument(
@@ -200,7 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    code = args.func(args)
+    if args.stats:
+        from repro.solver import render_solver_stats, solver_stats
+
+        print(render_solver_stats(solver_stats()))
+    return code
 
 
 if __name__ == "__main__":

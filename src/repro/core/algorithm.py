@@ -65,30 +65,44 @@ def _repair(
     """Open extra slots until the node-level flow accepts ``x̃``.
 
     Numerical insurance only: raises each node toward its length in
-    depth-descending order (deeper slots serve more job classes).
+    depth-descending order (deeper slots serve more job classes).  The
+    loop is hard-bounded by the total forest capacity ``Σ length(i)``:
+    each iteration must raise some node by one slot, so after that many
+    iterations every node is at full length and a still-rejecting flow
+    means the instance (not the rounding) is broken — raise instead of
+    spinning.
     """
     inst = canonical.instance
     forest = canonical.forest
     x = x_tilde.copy()
     repairs = 0
+    capacity = sum(forest.length(i) for i in range(forest.m))
     order = sorted(range(forest.m), key=lambda i: -forest.depth[i])
     while node_assignment(inst, forest, canonical.job_node, x.astype(int)) is None:
         raised = False
-        for i in order:
-            if x[i] < forest.length(i):
-                x[i] += 1
-                repairs += 1
-                raised = True
-                break
+        if repairs < capacity:
+            for i in order:
+                if x[i] < forest.length(i):
+                    x[i] += 1
+                    repairs += 1
+                    raised = True
+                    break
         if not raised:
-            raise SolverError("repair loop exhausted all slots")
+            raise SolverError(
+                "repair loop exhausted all slots: flow still rejects with "
+                f"every node at full length after {repairs} repairs "
+                f"(instance {inst.name!r}: n={inst.n}, g={inst.g}, "
+                f"nodes={forest.m}, capacity={capacity})",
+                kind="numerical",
+                model=inst.name,
+            )
     return x, repairs
 
 
 def solve_nested(
     instance: Instance,
     *,
-    backend: str = "highs",
+    backend: str | None = None,
     check_feasibility: bool = True,
     polish: bool = False,
 ) -> NestedResult:
@@ -99,7 +113,8 @@ def solve_nested(
     instance:
         A laminar instance (raises :class:`NotLaminarError` otherwise).
     backend:
-        LP backend, ``"highs"`` or ``"simplex"``.
+        LP backend, ``"highs"`` or ``"simplex"``; ``None`` (default)
+        uses the solver service's fallback chain with caching.
     check_feasibility:
         Run the all-slots flow test first and raise
         :class:`InfeasibleInstanceError` on infeasible input.

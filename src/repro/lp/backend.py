@@ -1,15 +1,18 @@
 """Generic linear-program model and solver backends.
 
 :class:`LinearProgram` is a small modelling layer: named variables, linear
-constraints, minimization objective.  It compiles to sparse arrays and
-solves through SciPy's HiGHS by default; the from-scratch
-:mod:`repro.lp.simplex` can be selected for cross-validation
-(``backend="simplex"``).
+constraints, minimization objective.  It compiles to sparse arrays;
+``solve()`` routes through the solver service
+(:mod:`repro.solver.service`), which adds a content-addressed solve
+cache, a backend fallback chain (HiGHS → from-scratch
+:mod:`repro.lp.simplex`) and instrumentation.  Pass
+``backend="highs"``/``"simplex"`` to pin one backend for
+cross-validation (no fallback, still cached).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -32,20 +35,19 @@ class LPSolution:
     status:
         Backend status string (``"optimal"`` on success).
     duals:
-        Constraint label → dual value (HiGHS backend only; empty for the
-        from-scratch simplex).  Duals of ``>=`` rows are reported for the
-        row as modelled (nonnegative when binding), so weak duality reads
+        Constraint label → dual value.  Both backends report duals for
+        inequality rows under the same labels and sign convention:
+        duals of ``>=`` rows are reported for the row as modelled
+        (nonnegative when binding), so weak duality reads
         ``Σ dual·rhs ≤ primal value`` for covering-style models.
+        Equality-row duals are HiGHS-only (the from-scratch simplex
+        omits them).
     """
 
     value: float
     values: Mapping[str, float]
     status: str
-    duals: Mapping[str, float] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.duals is None:
-            object.__setattr__(self, "duals", {})
+    duals: Mapping[str, float] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> float:
         return self.values[name]
@@ -178,16 +180,38 @@ class LinearProgram:
 
     # -- solving -----------------------------------------------------------
 
-    def solve(self, backend: str = "highs") -> LPSolution:
-        """Solve; ``backend`` is ``"highs"`` (SciPy) or ``"simplex"`` (ours)."""
-        if backend == "highs":
-            return self._solve_highs()
-        if backend == "simplex":
-            return self._solve_simplex()
-        raise ValueError(f"unknown backend {backend!r}")
+    def solve(self, backend: str | None = None) -> LPSolution:
+        """Solve through the solver service.
 
-    def _solve_highs(self) -> LPSolution:
-        parts = self.compile()
+        ``backend=None`` (default) uses the service's fallback chain;
+        ``"highs"`` or ``"simplex"`` pins that backend (no fallback).
+        """
+        from repro.solver.service import get_service
+
+        return get_service().solve(self, backend=backend)
+
+    def _ub_duals(self, parts: dict, marginals) -> dict[str, float]:
+        """Labelled duals of inequality rows from ≤-form marginals.
+
+        Marginals follow scipy's convention (``dφ/db`` of the row as
+        compiled, nonpositive at a minimum); ``>=`` rows were negated in
+        :meth:`compile`, so their reported dual flips sign — nonnegative
+        when binding.
+        """
+        duals: dict[str, float] = {}
+        for (label, sense), marg in zip(parts["meta_ub"], marginals):
+            if label:
+                duals[label] = float(-marg if sense == ">=" else marg)
+        return duals
+
+    def _solve_highs(
+        self, parts: dict | None = None, *, time_limit: float | None = None
+    ) -> LPSolution:
+        if parts is None:
+            parts = self.compile()
+        options = {}
+        if time_limit is not None:
+            options["time_limit"] = max(float(time_limit), 0.0)
         res = linprog(
             parts["c"],
             A_ub=parts["A_ub"],
@@ -196,21 +220,26 @@ class LinearProgram:
             b_eq=parts["b_eq"],
             bounds=parts["bounds"],
             method="highs",
+            options=options,
         )
         if not res.success:
+            # scipy status codes: 1 = limit reached, 2 = infeasible,
+            # 3 = unbounded, 4 = numerical trouble.
+            kind = {1: "timeout", 2: "infeasible", 3: "unbounded"}.get(
+                res.status, "numerical"
+            )
             raise SolverError(
-                f"LP {self.name!r} failed: {res.message} (status {res.status})"
+                f"LP {self.name!r} failed: {res.message} (status {res.status})",
+                kind=kind,
+                model=self.name,
+                backend="highs",
+                num_vars=self.num_vars,
+                num_constraints=self.num_constraints,
             )
         values = {name: float(res.x[i]) for name, i in self._var_index.items()}
         duals: dict[str, float] = {}
         if parts["meta_ub"] and getattr(res, "ineqlin", None) is not None:
-            for (label, sense), marg in zip(
-                parts["meta_ub"], res.ineqlin.marginals
-            ):
-                if label:
-                    # Report the dual of the row as modelled: nonnegative
-                    # when a binding ">=" row supports the optimum.
-                    duals[label] = float(-marg if sense == ">=" else marg)
+            duals.update(self._ub_duals(parts, res.ineqlin.marginals))
         if parts["meta_eq"] and getattr(res, "eqlin", None) is not None:
             for label, marg in zip(parts["meta_eq"], res.eqlin.marginals):
                 if label:
@@ -219,14 +248,20 @@ class LinearProgram:
             value=float(res.fun), values=values, status="optimal", duals=duals
         )
 
-    def _solve_simplex(self) -> LPSolution:
+    def _solve_simplex(self, parts: dict | None = None) -> LPSolution:
         from repro.lp.simplex import SimplexSolver
 
-        parts = self.compile()
+        if parts is None:
+            parts = self.compile()
         solver = SimplexSolver.from_compiled(parts)
         x, value = solver.solve()
         values = {name: float(x[i]) for name, i in self._var_index.items()}
-        return LPSolution(value=float(value), values=values, status="optimal")
+        duals: dict[str, float] = {}
+        if parts["meta_ub"] and solver.marginals_ub is not None:
+            duals.update(self._ub_duals(parts, solver.marginals_ub))
+        return LPSolution(
+            value=float(value), values=values, status="optimal", duals=duals
+        )
 
     # -- introspection --------------------------------------------------------
 

@@ -63,7 +63,9 @@ def build_cw_lp(instance: Instance) -> LinearProgram:
     return lp
 
 
-def solve_cw_lp(instance: Instance, *, backend: str = "highs") -> SlotLPSolution:
+def solve_cw_lp(
+    instance: Instance, *, backend: str | None = None
+) -> SlotLPSolution:
     """Solve the Călinescu–Wang LP; values snapped within tolerance."""
     lp = build_cw_lp(instance)
     sol = lp.solve(backend=backend)

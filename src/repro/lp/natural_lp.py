@@ -72,7 +72,7 @@ def build_natural_lp(instance: Instance) -> LinearProgram:
 
 
 def solve_natural_lp(
-    instance: Instance, *, backend: str = "highs"
+    instance: Instance, *, backend: str | None = None
 ) -> SlotLPSolution:
     """Solve the natural LP; values snapped within tolerance."""
     lp = build_natural_lp(instance)

@@ -125,10 +125,14 @@ def solve_nested_lp(
     canonical: CanonicalInstance,
     *,
     ceiling: bool = True,
-    backend: str = "highs",
+    backend: str | None = None,
     thresholds: OptThresholds | None = None,
 ) -> NestedLPSolution:
-    """Solve LP (1); returns snapped ``x`` and ``y`` arrays."""
+    """Solve LP (1); returns snapped ``x`` and ``y`` arrays.
+
+    ``backend=None`` uses the solver service's fallback chain (cached);
+    pass ``"highs"``/``"simplex"`` to pin a backend.
+    """
     lp, thresholds = build_nested_lp(
         canonical, ceiling=ceiling, thresholds=thresholds
     )

@@ -74,11 +74,23 @@ class SimplexSolver:
         solver._n_original = n
         solver._lower_shift = lower
         solver._objective_shift = float(c @ lower)
+        # Slack bookkeeping for dual extraction: slack column of ub row i
+        # sits at n + i; only the first len(meta_ub) rows are the
+        # caller's labelled constraints (bound rows follow).
+        solver._slack_offset = n
+        solver._n_ub_rows = m_ub
         return solver
 
     _n_original: int | None = None
     _lower_shift: np.ndarray | None = None
     _objective_shift: float = 0.0
+    _slack_offset: int | None = None
+    _n_ub_rows: int = 0
+
+    #: After :meth:`solve`, marginals of the ``≤`` rows (scipy sign
+    #: convention: ``dφ/db_i``, nonpositive at a minimum).  Empty when
+    #: the solver was built directly rather than via :meth:`from_compiled`.
+    marginals_ub: np.ndarray | None = None
 
     # -- core simplex --------------------------------------------------------
 
@@ -115,7 +127,9 @@ class SimplexSolver:
                     ):
                         best_row, best_ratio = r, ratio
             if best_row < 0:
-                raise SolverError("LP is unbounded")
+                raise SolverError(
+                    "LP is unbounded", kind="unbounded", backend="simplex"
+                )
             SimplexSolver._pivot(tab, basis, best_row, col)
 
     def solve(self) -> tuple[np.ndarray, float]:
@@ -137,7 +151,9 @@ class SimplexSolver:
         tab[-1, -1] = -b.sum()
         self._iterate(tab, basis, n + m)
         if tab[-1, -1] < -1e-7:
-            raise SolverError("LP is infeasible")
+            raise SolverError(
+                "LP is infeasible", kind="infeasible", backend="simplex"
+            )
 
         # Drive leftover artificials out of the basis where possible.
         for r in range(m):
@@ -156,6 +172,20 @@ class SimplexSolver:
             if basis[r] < n and abs(tab2[-1, basis[r]]) > _TOL:
                 tab2[-1] -= tab2[-1, basis[r]] * tab2[r]
         self._iterate(tab2, basis, n)
+
+        if self._slack_offset is not None and self._n_ub_rows:
+            # Marginal of ub row i = -reduced_cost(slack_i): with
+            # A_i·x + s_i = b_i the slack column is e_i, so its reduced
+            # cost is -y_i where y = c_B B⁻¹; rows sign-flipped for a
+            # negative rhs flip both the multiplier and the slack
+            # coefficient, leaving the same formula.  Matches scipy's
+            # ``ineqlin.marginals`` convention (≤ 0 when binding).
+            rc = tab2[
+                -1, self._slack_offset : self._slack_offset + self._n_ub_rows
+            ]
+            marg = -rc.copy()
+            marg[np.abs(marg) <= _TOL] = 0.0
+            self.marginals_ub = marg
 
         x = np.zeros(n)
         for r in range(m):

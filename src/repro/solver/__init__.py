@@ -1,0 +1,32 @@
+"""Solver service: caching, backend fallback, instrumentation for LP solves."""
+
+from repro.solver.cache import SolveCache, model_fingerprint
+from repro.solver.service import (
+    BACKENDS,
+    DEFAULT_CHAIN,
+    SolverService,
+    clear_solver_cache,
+    get_service,
+    reset_solver_stats,
+    set_service,
+    solve_lp,
+    solver_stats,
+)
+from repro.solver.stats import SolverStats, render_solver_stats, stats_delta
+
+__all__ = [
+    "SolverService",
+    "SolveCache",
+    "SolverStats",
+    "BACKENDS",
+    "DEFAULT_CHAIN",
+    "model_fingerprint",
+    "get_service",
+    "set_service",
+    "solve_lp",
+    "solver_stats",
+    "reset_solver_stats",
+    "clear_solver_cache",
+    "render_solver_stats",
+    "stats_delta",
+]

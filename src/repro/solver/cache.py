@@ -1,0 +1,111 @@
+"""Content-addressed solve cache.
+
+The key is a cryptographic digest of the *compiled* sparse model — the
+objective, bounds, CSR structure of both constraint blocks, variable
+names and row labels — plus the backend chain the caller allowed.  Two
+``LinearProgram`` objects built independently (e.g. the same instance
+re-solved by a later battery run, or the transform→round pipeline
+re-deriving the same LP) hash identically and share one backend solve.
+
+Variable names and labels are part of the key on purpose: the cached
+:class:`~repro.lp.backend.LPSolution` maps *names* to values, so two
+numerically identical models with different namings must not collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.lp.backend import LPSolution
+
+
+def model_fingerprint(lp, parts: dict, chain: tuple[str, ...]) -> str:
+    """Canonical hash of a compiled model + allowed backend chain."""
+    h = hashlib.blake2b(digest_size=20)
+
+    def arr(a) -> None:
+        if a is None:
+            h.update(b"\x00none")
+            return
+        a = np.ascontiguousarray(a, dtype=float)
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+
+    def csr(mat) -> None:
+        if mat is None:
+            h.update(b"\x00none")
+            return
+        h.update(str(mat.shape).encode())
+        h.update(np.ascontiguousarray(mat.data, dtype=float).tobytes())
+        h.update(np.ascontiguousarray(mat.indices, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(mat.indptr, dtype=np.int64).tobytes())
+
+    arr(parts["c"])
+    csr(parts["A_ub"])
+    arr(parts["b_ub"])
+    csr(parts["A_eq"])
+    arr(parts["b_eq"])
+    bounds = np.asarray(parts["bounds"], dtype=float)
+    arr(bounds if bounds.size else None)
+    h.update("\x1f".join(lp.variable_names()).encode())
+    h.update(b"\x00")
+    h.update(
+        "\x1f".join(f"{label}\x1e{sense}" for label, sense in parts["meta_ub"]).encode()
+    )
+    h.update(b"\x00")
+    h.update("\x1f".join(parts["meta_eq"]).encode())
+    h.update(b"\x00")
+    h.update("|".join(chain).encode())
+    return h.hexdigest()
+
+
+class SolveCache:
+    """A bounded LRU map ``fingerprint → LPSolution``.
+
+    Entries are returned as fresh :class:`LPSolution` objects with copied
+    dicts so a caller mutating ``sol.values`` cannot poison the cache.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, LPSolution] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> LPSolution | None:
+        sol = self._entries.get(key)
+        if sol is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return LPSolution(
+            value=sol.value,
+            values=dict(sol.values),
+            status=sol.status,
+            duals=dict(sol.duals),
+        )
+
+    def put(self, key: str, sol: LPSolution) -> None:
+        self._entries[key] = LPSolution(
+            value=sol.value,
+            values=dict(sol.values),
+            status=sol.status,
+            duals=dict(sol.duals),
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

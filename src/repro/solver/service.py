@@ -1,0 +1,249 @@
+"""The solver service: one front door for every LP solve in the repo.
+
+``SolverService.solve`` compiles the model once, consults a
+content-addressed :class:`~repro.solver.cache.SolveCache`, and on a miss
+walks a backend chain (HiGHS → from-scratch simplex by default) with
+per-backend retry and an optional wall-clock budget.  Every request is
+instrumented (:mod:`repro.solver.stats`).
+
+``LinearProgram.solve`` delegates here, so all existing call sites — the
+9/5 pipeline, the lower bounds, the gap studies, the benchmarks — get
+caching, fallback and counters without changes.  A module-level default
+service backs the convenience functions :func:`solve_lp`,
+:func:`solver_stats`, :func:`reset_solver_stats` and
+:func:`clear_solver_cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Callable, Sequence
+
+from repro.lp.backend import LinearProgram, LPSolution
+from repro.solver.cache import SolveCache, model_fingerprint
+from repro.solver.stats import SolverStats, render_solver_stats, stats_delta
+from repro.util.errors import SolverError
+
+#: Raw backend implementations.  Kept as a mutable registry so tests can
+#: inject failing/flaky backends and so future backends plug in without
+#: touching the service.  Each entry maps ``(lp, parts, time_limit)`` to
+#: an :class:`LPSolution` or raises :class:`SolverError`.
+BACKENDS: dict[str, Callable[..., LPSolution]] = {
+    "highs": lambda lp, parts, time_limit=None: lp._solve_highs(
+        parts, time_limit=time_limit
+    ),
+    "simplex": lambda lp, parts, time_limit=None: lp._solve_simplex(parts),
+}
+
+#: Default fallback order: production backend first, dependency-free
+#: from-scratch simplex as the safety net.
+DEFAULT_CHAIN: tuple[str, ...] = ("highs", "simplex")
+
+#: Model-level verdicts: retrying another backend cannot change these.
+_NO_FALLBACK_KINDS = ("infeasible", "unbounded")
+
+
+class SolverService:
+    """Caching, fallback and instrumentation around the LP backends.
+
+    Parameters
+    ----------
+    chain:
+        Backend names tried in order when the caller does not pin one.
+    cache_size:
+        Max cached solutions (LRU); ``0`` disables caching entirely.
+    attempts_per_backend:
+        Attempts per backend before moving to the next one.  Retrying a
+        deterministic solver on an infeasible model is pointless (and
+        model-level verdicts never retry), but transient numerical
+        failures do recur intermittently under perturbed objectives.
+    time_budget:
+        Optional wall-clock budget (seconds) for one ``solve`` call
+        across all backends; forwarded to HiGHS as its time limit.
+    """
+
+    def __init__(
+        self,
+        chain: Sequence[str] = DEFAULT_CHAIN,
+        *,
+        cache_size: int = 1024,
+        attempts_per_backend: int = 1,
+        time_budget: float | None = None,
+    ) -> None:
+        if not chain:
+            raise ValueError("backend chain must not be empty")
+        if attempts_per_backend < 1:
+            raise ValueError("attempts_per_backend must be >= 1")
+        self.chain = tuple(chain)
+        self.cache: SolveCache | None = (
+            SolveCache(cache_size) if cache_size > 0 else None
+        )
+        self.attempts_per_backend = attempts_per_backend
+        self.time_budget = time_budget
+        self.stats = SolverStats()
+        self._lock = threading.Lock()
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(
+        self, lp: LinearProgram, backend: str | None = None
+    ) -> LPSolution:
+        """Solve ``lp``; pin a single backend with ``backend=...``.
+
+        A pinned backend bypasses fallback (cross-validation callers want
+        *that* backend's answer, not whichever one succeeded) but still
+        goes through the cache, keyed separately per chain.
+        """
+        chain = (backend,) if backend is not None else self.chain
+        for name in chain:
+            if name not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {name!r}; have {sorted(BACKENDS)}"
+                )
+        t0 = perf_counter()
+        parts = lp.compile()
+        key = None
+        if self.cache is not None:
+            key = model_fingerprint(lp, parts, chain)
+            with self._lock:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.stats.solves += 1
+                    self.stats.cache_hits += 1
+                    self.stats.wall_time += perf_counter() - t0
+                    return hit
+        with self._lock:
+            self.stats.solves += 1
+            self.stats.cache_misses += 1
+            self.stats.rows += lp.num_constraints
+            self.stats.cols += lp.num_vars
+
+        deadline = t0 + self.time_budget if self.time_budget else None
+        causes: list[tuple[str, Exception]] = []
+        for pos, name in enumerate(chain):
+            for attempt in range(self.attempts_per_backend):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - perf_counter()
+                    if remaining <= 0:
+                        causes.append(
+                            (name, SolverError("time budget exhausted", kind="timeout"))
+                        )
+                        return self._raise_chain_failure(lp, chain, causes, t0)
+                t_backend = perf_counter()
+                try:
+                    sol = BACKENDS[name](lp, parts, time_limit=remaining)
+                except SolverError as exc:
+                    with self._lock:
+                        self.stats.record_error(name)
+                    causes.append((name, exc))
+                    if getattr(exc, "kind", "backend") in _NO_FALLBACK_KINDS:
+                        # The model itself is infeasible/unbounded — no
+                        # other backend can disagree; surface as-is.
+                        with self._lock:
+                            self.stats.failures += 1
+                            self.stats.wall_time += perf_counter() - t0
+                        raise
+                    if attempt + 1 < self.attempts_per_backend:
+                        with self._lock:
+                            self.stats.retries += 1
+                    continue
+                with self._lock:
+                    self.stats.record_backend(name, perf_counter() - t_backend)
+                    if pos > 0:
+                        self.stats.fallbacks += 1
+                    if self.cache is not None and key is not None:
+                        self.cache.put(key, sol)
+                    self.stats.wall_time += perf_counter() - t0
+                return sol
+        return self._raise_chain_failure(lp, chain, causes, t0)
+
+    def _raise_chain_failure(
+        self,
+        lp: LinearProgram,
+        chain: tuple[str, ...],
+        causes: list[tuple[str, Exception]],
+        t0: float,
+    ) -> LPSolution:
+        with self._lock:
+            self.stats.failures += 1
+            self.stats.wall_time += perf_counter() - t0
+        detail = "; ".join(f"{name}: {exc}" for name, exc in causes)
+        raise SolverError(
+            f"LP {lp.name!r} failed on all backends {list(chain)} "
+            f"({lp.num_vars} vars, {lp.num_constraints} rows): {detail}",
+            kind="chain",
+            model=lp.name,
+            num_vars=lp.num_vars,
+            num_constraints=lp.num_constraints,
+            causes=causes,
+        )
+
+    # -- introspection / control ------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        with self._lock:
+            return self.stats.snapshot()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats.reset()
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            if self.cache is not None:
+                self.cache.clear()
+
+
+# -- module-level default service -----------------------------------------
+
+_default_service = SolverService()
+_default_lock = threading.Lock()
+
+
+def get_service() -> SolverService:
+    """The process-wide default service (used by ``LinearProgram.solve``)."""
+    return _default_service
+
+
+def set_service(service: SolverService) -> SolverService:
+    """Replace the default service; returns the previous one."""
+    global _default_service
+    with _default_lock:
+        previous = _default_service
+        _default_service = service
+    return previous
+
+
+def solve_lp(lp: LinearProgram, backend: str | None = None) -> LPSolution:
+    """Solve through the default service."""
+    return get_service().solve(lp, backend=backend)
+
+
+def solver_stats() -> dict:
+    """Snapshot of the default service's counters (plain dict)."""
+    return get_service().stats_snapshot()
+
+
+def reset_solver_stats() -> None:
+    get_service().reset_stats()
+
+
+def clear_solver_cache() -> None:
+    get_service().clear_cache()
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CHAIN",
+    "SolverService",
+    "get_service",
+    "set_service",
+    "solve_lp",
+    "solver_stats",
+    "reset_solver_stats",
+    "clear_solver_cache",
+    "render_solver_stats",
+    "stats_delta",
+]

@@ -1,0 +1,126 @@
+"""Instrumentation for the solver service.
+
+Counters and timings are accumulated per :class:`SolverStats` (one per
+service, guarded by the service's lock) and exposed to callers only as
+plain-dict *snapshots*, so consumers can diff two snapshots without
+worrying about concurrent mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass
+class SolverStats:
+    """Mutable counters for one :class:`~repro.solver.SolverService`."""
+
+    solves: int = 0  # solve requests (hits + misses)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fallbacks: int = 0  # solves answered by a non-primary backend
+    retries: int = 0  # extra attempts on the same backend
+    failures: int = 0  # requests where every backend failed
+    rows: int = 0  # constraint rows actually sent to a backend
+    cols: int = 0  # variable columns actually sent to a backend
+    wall_time: float = 0.0  # total time inside SolverService.solve
+    backend_solves: dict[str, int] = field(default_factory=dict)
+    backend_errors: dict[str, int] = field(default_factory=dict)
+    backend_time: dict[str, float] = field(default_factory=dict)
+
+    def record_backend(self, name: str, elapsed: float) -> None:
+        self.backend_solves[name] = self.backend_solves.get(name, 0) + 1
+        self.backend_time[name] = self.backend_time.get(name, 0.0) + elapsed
+
+    def record_error(self, name: str) -> None:
+        self.backend_errors[name] = self.backend_errors.get(name, 0) + 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict copy, safe to keep across further solves."""
+        backends = sorted(
+            set(self.backend_solves)
+            | set(self.backend_errors)
+            | set(self.backend_time)
+        )
+        return {
+            "solves": self.solves,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "fallbacks": self.fallbacks,
+            "retries": self.retries,
+            "failures": self.failures,
+            "rows": self.rows,
+            "cols": self.cols,
+            "wall_time": self.wall_time,
+            "backends": {
+                name: {
+                    "solves": self.backend_solves.get(name, 0),
+                    "errors": self.backend_errors.get(name, 0),
+                    "time": self.backend_time.get(name, 0.0),
+                }
+                for name in backends
+            },
+        }
+
+    def reset(self) -> None:
+        self.solves = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.fallbacks = 0
+        self.retries = 0
+        self.failures = 0
+        self.rows = 0
+        self.cols = 0
+        self.wall_time = 0.0
+        self.backend_solves.clear()
+        self.backend_errors.clear()
+        self.backend_time.clear()
+
+
+def stats_delta(
+    after: Mapping[str, Any], before: Mapping[str, Any]
+) -> dict[str, Any]:
+    """``after - before`` for two :meth:`SolverStats.snapshot` dicts."""
+    out: dict[str, Any] = {}
+    for key, a in after.items():
+        if key == "backends":
+            continue
+        out[key] = a - before.get(key, 0)
+    backends: dict[str, dict[str, float]] = {}
+    zero = {"solves": 0, "errors": 0, "time": 0.0}
+    for name, a in after.get("backends", {}).items():
+        b = before.get("backends", {}).get(name, zero)
+        delta = {k: a[k] - b.get(k, 0) for k in a}
+        if any(delta.values()):
+            backends[name] = delta
+    out["backends"] = backends
+    return out
+
+
+def render_solver_stats(snap: Mapping[str, Any]) -> str:
+    """A compact aligned text block for the CLI ``--stats`` flag."""
+    lines = ["solver stats"]
+    scalar_rows = [
+        ("lp solves", snap.get("solves", 0)),
+        ("cache hits", snap.get("cache_hits", 0)),
+        ("cache misses", snap.get("cache_misses", 0)),
+        ("fallbacks", snap.get("fallbacks", 0)),
+        ("retries", snap.get("retries", 0)),
+        ("failures", snap.get("failures", 0)),
+        ("rows solved", snap.get("rows", 0)),
+        ("cols solved", snap.get("cols", 0)),
+        ("wall time [s]", f"{snap.get('wall_time', 0.0):.4f}"),
+    ]
+    for name, per in sorted(snap.get("backends", {}).items()):
+        scalar_rows.append(
+            (
+                f"backend {name}",
+                f"{per['solves']} solves, {per['errors']} errors, "
+                f"{per['time']:.4f}s",
+            )
+        )
+    width = max(len(label) for label, _ in scalar_rows)
+    for label, value in scalar_rows:
+        lines.append(f"  {label.ljust(width)}  {value}")
+    return "\n".join(lines)

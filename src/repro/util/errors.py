@@ -36,4 +36,69 @@ class InfeasibleInstanceError(ReproError):
 
 
 class SolverError(ReproError):
-    """An LP or flow solver failed to produce a usable solution."""
+    """An LP or flow solver failed to produce a usable solution.
+
+    Besides the message, instances may carry structured diagnostics so
+    callers (and the solver service's fallback logic) can react without
+    parsing strings:
+
+    Attributes
+    ----------
+    kind:
+        Failure class — ``"infeasible"`` / ``"unbounded"`` are verdicts
+        about the *model* (no point retrying another backend);
+        ``"backend"``, ``"numerical"`` and ``"timeout"`` are failures of
+        the *solve* and are eligible for fallback.
+    model:
+        Name of the failed model (``LinearProgram.name``) when known.
+    backend:
+        Name of the backend that raised, when a single backend failed.
+    num_vars / num_constraints:
+        Size of the failed model, when known.
+    causes:
+        For chain failures: tuple of ``(backend_name, exception)`` pairs,
+        one per backend attempt, in order.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "backend",
+        model: str | None = None,
+        backend: str | None = None,
+        num_vars: int | None = None,
+        num_constraints: int | None = None,
+        causes: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.model = model
+        self.backend = backend
+        self.num_vars = num_vars
+        self.num_constraints = num_constraints
+        self.causes = tuple(causes)
+
+
+class BatteryTaskError(ReproError):
+    """A ``run_battery`` worker task failed on a specific instance.
+
+    The message embeds the task name and the instance name/index so a
+    crash in a 10k-instance sweep points at the offending input; the
+    original exception is chained as ``__cause__`` (in-process) and the
+    same context survives pickling across the process pool boundary
+    because it lives in ``args[0]``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task: str | None = None,
+        instance: str | None = None,
+        index: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.task = task
+        self.instance = instance
+        self.index = index

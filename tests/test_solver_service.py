@@ -1,0 +1,392 @@
+"""Solver service layer: cache, fallback chain, instrumentation.
+
+Also regression tests for the hardening pass riding along: the bounded
+``_repair`` loop, the ``LPSolution.duals`` default, and ``run_battery``
+failure context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.parallel import register_task, run_battery
+from repro.core.algorithm import solve_nested
+from repro.instances.families import rigid_chain, section5_gap
+from repro.instances.generators import laminar_suite
+from repro.lp.backend import LinearProgram, LPSolution
+from repro.solver import (
+    BACKENDS,
+    SolveCache,
+    SolverService,
+    model_fingerprint,
+    set_service,
+    solver_stats,
+    stats_delta,
+)
+from repro.util.errors import BatteryTaskError, SolverError
+
+
+@pytest.fixture()
+def fresh_service():
+    """Install an empty default service for the test, restore after."""
+    service = SolverService()
+    previous = set_service(service)
+    try:
+        yield service
+    finally:
+        set_service(previous)
+
+
+def _toy_lp(name: str = "toy") -> LinearProgram:
+    lp = LinearProgram(name)
+    lp.add_var("x", objective=1.0, upper=2.0)
+    lp.add_var("y", objective=2.0, upper=5.0)
+    lp.add_constraint({"x": 1, "y": 1}, ">=", 3, label="cover")
+    return lp
+
+
+class TestCache:
+    def test_identical_models_hit(self, fresh_service):
+        a = _toy_lp().solve()
+        b = _toy_lp().solve()  # rebuilt from scratch → same fingerprint
+        assert b.value == pytest.approx(a.value)
+        snap = fresh_service.stats_snapshot()
+        assert snap["solves"] == 2
+        assert snap["cache_hits"] == 1
+        assert snap["cache_misses"] == 1
+        assert sum(p["solves"] for p in snap["backends"].values()) == 1
+
+    def test_different_models_miss(self, fresh_service):
+        _toy_lp().solve()
+        other = _toy_lp()
+        other.add_constraint({"x": 1}, "<=", 1.5, label="cap")
+        other.solve()
+        assert fresh_service.stats_snapshot()["cache_hits"] == 0
+
+    def test_pinned_backends_do_not_collide(self, fresh_service):
+        """A simplex request must not be answered from a highs entry."""
+        _toy_lp().solve(backend="highs")
+        _toy_lp().solve(backend="simplex")
+        snap = fresh_service.stats_snapshot()
+        assert snap["cache_hits"] == 0
+        assert snap["backends"]["highs"]["solves"] == 1
+        assert snap["backends"]["simplex"]["solves"] == 1
+
+    def test_hit_returns_a_copy(self, fresh_service):
+        first = _toy_lp().solve()
+        first.values["x"] = 999.0  # poison attempt
+        second = _toy_lp().solve()
+        assert second["x"] == pytest.approx(2.0)
+
+    def test_variable_names_are_part_of_the_key(self, fresh_service):
+        lp1 = LinearProgram("n1")
+        lp1.add_var("a", objective=1.0)
+        lp1.add_constraint({"a": 1}, ">=", 1, label="r")
+        lp2 = LinearProgram("n1")
+        lp2.add_var("b", objective=1.0)
+        lp2.add_constraint({"b": 1}, ">=", 1, label="r")
+        chain = fresh_service.chain
+        assert model_fingerprint(lp1, lp1.compile(), chain) != model_fingerprint(
+            lp2, lp2.compile(), chain
+        )
+
+    def test_lru_eviction(self):
+        cache = SolveCache(max_entries=2)
+        sol = LPSolution(value=1.0, values={"x": 1.0}, status="optimal")
+        cache.put("a", sol)
+        cache.put("b", sol)
+        assert cache.get("a") is not None  # refresh a
+        cache.put("c", sol)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_cache_disabled(self):
+        service = SolverService(cache_size=0)
+        previous = set_service(service)
+        try:
+            _toy_lp().solve()
+            _toy_lp().solve()
+            snap = service.stats_snapshot()
+            assert snap["cache_hits"] == 0
+            assert sum(p["solves"] for p in snap["backends"].values()) == 2
+        finally:
+            set_service(previous)
+
+
+def _failing_backend(kind="backend"):
+    def backend(lp, parts, time_limit=None):
+        raise SolverError("injected failure", kind=kind, backend="highs")
+
+    return backend
+
+
+class TestFallback:
+    def test_highs_failure_falls_back_to_simplex(
+        self, fresh_service, monkeypatch
+    ):
+        reference = _toy_lp().solve(backend="simplex")
+        monkeypatch.setitem(BACKENDS, "highs", _failing_backend())
+        sol = _toy_lp().solve()
+        assert sol.value == pytest.approx(reference.value)
+        snap = fresh_service.stats_snapshot()
+        assert snap["fallbacks"] == 1
+        assert snap["backends"]["highs"]["errors"] == 1
+        assert snap["backends"]["simplex"]["solves"] >= 1
+
+    def test_infeasible_does_not_fall_back(self, fresh_service, monkeypatch):
+        """Model-level verdicts are final: no wasted second solve."""
+        calls = []
+
+        def spy_simplex(lp, parts, time_limit=None):
+            calls.append(lp.name)
+            return BACKENDS_ORIG(lp, parts)
+
+        BACKENDS_ORIG = BACKENDS["simplex"]
+        monkeypatch.setitem(BACKENDS, "simplex", spy_simplex)
+        lp = LinearProgram("infeasible")
+        lp.add_var("x", objective=1.0, upper=1.0)
+        lp.add_constraint({"x": 1}, ">=", 2, label="impossible")
+        with pytest.raises(SolverError) as err:
+            lp.solve()
+        assert err.value.kind == "infeasible"
+        assert calls == []  # simplex never consulted
+
+    def test_retry_then_succeed(self, monkeypatch):
+        service = SolverService(attempts_per_backend=2)
+        previous = set_service(service)
+        try:
+            original = BACKENDS["highs"]
+            state = {"failed": False}
+
+            def flaky(lp, parts, time_limit=None):
+                if not state["failed"]:
+                    state["failed"] = True
+                    raise SolverError("transient", kind="numerical")
+                return original(lp, parts, time_limit=time_limit)
+
+            monkeypatch.setitem(BACKENDS, "highs", flaky)
+            sol = _toy_lp().solve()
+            assert sol.value == pytest.approx(4.0)
+            snap = service.stats_snapshot()
+            assert snap["retries"] == 1
+            assert snap["fallbacks"] == 0
+        finally:
+            set_service(previous)
+
+    def test_chain_exhaustion_carries_diagnostics(
+        self, fresh_service, monkeypatch
+    ):
+        monkeypatch.setitem(BACKENDS, "highs", _failing_backend())
+        monkeypatch.setitem(BACKENDS, "simplex", _failing_backend())
+        lp = _toy_lp("doomed")
+        with pytest.raises(SolverError) as err:
+            lp.solve()
+        exc = err.value
+        assert exc.kind == "chain"
+        assert exc.model == "doomed"
+        assert exc.num_vars == 2
+        assert exc.num_constraints == 1
+        assert [name for name, _ in exc.causes] == ["highs", "simplex"]
+        assert fresh_service.stats_snapshot()["failures"] == 1
+
+    def test_unknown_backend_rejected(self, fresh_service):
+        with pytest.raises(ValueError):
+            _toy_lp().solve(backend="cplex")
+
+    def test_nested_pipeline_survives_highs_failure(
+        self, fresh_service, monkeypatch
+    ):
+        """Acceptance: forcing HiGHS down yields the same optimum via
+        the simplex fallback on a laminar family."""
+        instance = section5_gap(3)
+        clean = solve_nested(instance)
+        fresh_service.clear_cache()
+        monkeypatch.setitem(BACKENDS, "highs", _failing_backend())
+        fallback = solve_nested(instance)
+        assert fallback.active_time == clean.active_time
+        assert fallback.lp_value == pytest.approx(clean.lp_value, abs=1e-6)
+        assert fresh_service.stats_snapshot()["fallbacks"] >= 1
+
+
+class TestStats:
+    def test_counters_and_reset(self, fresh_service):
+        lp = _toy_lp()
+        lp.solve()
+        snap = fresh_service.stats_snapshot()
+        assert snap["rows"] == 1 and snap["cols"] == 2
+        assert snap["wall_time"] > 0
+        fresh_service.reset_stats()
+        cleared = fresh_service.stats_snapshot()
+        assert cleared["solves"] == 0 and cleared["backends"] == {}
+
+    def test_stats_delta(self, fresh_service):
+        _toy_lp().solve()
+        before = solver_stats()
+        _toy_lp().solve()  # hit
+        delta = stats_delta(solver_stats(), before)
+        assert delta["solves"] == 1
+        assert delta["cache_hits"] == 1
+        assert delta["backends"] == {}  # no new backend work
+
+    def test_battery_collect_stats(self, fresh_service):
+        instances = [rigid_chain(3), rigid_chain(4)]
+        results = run_battery(
+            instances, "solve_nested", max_workers=1, collect_stats=True
+        )
+        assert all(r["solver_stats"]["solves"] >= 1 for r in results)
+        # Second pass over the same battery is pure cache.
+        warm = run_battery(
+            instances, "solve_nested", max_workers=1, collect_stats=True
+        )
+        for r in warm:
+            per_backend = r["solver_stats"]["backends"]
+            assert sum(p["solves"] for p in per_backend.values()) == 0
+
+
+class TestWarmBattery:
+    def test_repeated_battery_does_zero_backend_solves(self, fresh_service):
+        """Acceptance: a warm-cache battery re-run never hits a backend."""
+        instances = laminar_suite(seed=11, sizes=(5, 9))
+        run_battery(instances, "solve_nested", max_workers=1)
+        before = solver_stats()
+        results = run_battery(instances, "solve_nested", max_workers=1)
+        delta = stats_delta(solver_stats(), before)
+        assert len(results) == len(instances)
+        assert delta["solves"] == delta["cache_hits"] > 0
+        assert delta["cache_misses"] == 0
+        assert (
+            sum(p["solves"] for p in delta["backends"].values()) == 0
+        ), "warm battery must be answered entirely from cache"
+
+
+class TestRepairBound:
+    def test_repair_terminates_when_flow_never_accepts(self, monkeypatch):
+        """Regression: with every node at full length and a still-
+        rejecting flow, ``_repair`` must raise, not spin forever."""
+        from repro.core import algorithm
+        from repro.tree.canonical import canonicalize
+
+        canonical = canonicalize(rigid_chain(3))
+        monkeypatch.setattr(
+            algorithm, "node_assignment", lambda *a, **k: None
+        )
+        x = np.zeros(canonical.forest.m, dtype=int)
+        with pytest.raises(SolverError) as err:
+            algorithm._repair(canonical, x)
+        assert "full length" in str(err.value)
+        assert err.value.kind == "numerical"
+
+    def test_repair_count_bounded_by_capacity(self, monkeypatch):
+        from repro.core import algorithm
+        from repro.tree.canonical import canonicalize
+
+        canonical = canonicalize(rigid_chain(3))
+        capacity = sum(
+            canonical.forest.length(i) for i in range(canonical.forest.m)
+        )
+        calls = {"n": 0}
+
+        def reject_forever(*a, **k):
+            calls["n"] += 1
+            return None
+
+        monkeypatch.setattr(algorithm, "node_assignment", reject_forever)
+        with pytest.raises(SolverError):
+            algorithm._repair(
+                canonical, np.zeros(canonical.forest.m, dtype=int)
+            )
+        # One probe per raised slot plus the final full-length probe.
+        assert calls["n"] == capacity + 1
+
+
+class TestDualsDefaults:
+    def test_default_duals_is_empty_dict(self):
+        sol = LPSolution(value=0.0, values={}, status="optimal")
+        assert sol.duals == {}
+        assert sol.dual("anything") == 0.0
+
+    def test_default_duals_not_shared_between_instances(self):
+        """Regression: the old ``None`` sentinel shared one dict; the
+        ``default_factory`` must give each solution its own."""
+        a = LPSolution(value=0.0, values={}, status="optimal")
+        b = LPSolution(value=0.0, values={}, status="optimal")
+        assert a.duals is not b.duals
+
+    def test_ge_duals_agree_across_backends(self, fresh_service):
+        """Both backends report the same labelled ``>=`` duals."""
+        lp = LinearProgram("cover2")
+        lp.add_var("x", objective=2.0)
+        lp.add_var("y", objective=3.0)
+        lp.add_constraint({"x": 1, "y": 2}, ">=", 4, label="c1")
+        lp.add_constraint({"x": 2, "y": 1}, ">=", 4, label="c2")
+        hi = lp.solve(backend="highs")
+        si = lp.solve(backend="simplex")
+        for label in ("c1", "c2"):
+            assert si.dual(label) == pytest.approx(hi.dual(label), abs=1e-7)
+            assert si.dual(label) >= -1e-9
+        dual_obj = si.dual("c1") * 4 + si.dual("c2") * 4
+        assert dual_obj == pytest.approx(si.value)
+
+    def test_simplex_nonbinding_row_zero_dual(self, fresh_service):
+        lp = LinearProgram()
+        lp.add_var("x", objective=1.0)
+        lp.add_constraint({"x": 1}, ">=", 1, label="need")
+        lp.add_constraint({"x": 1}, "<=", 100, label="cap")
+        sol = lp.solve(backend="simplex")
+        assert sol.dual("cap") == pytest.approx(0.0)
+        assert sol.dual("need") == pytest.approx(1.0)
+
+
+@register_task("always_fails")
+def _task_always_fails(instance):
+    raise RuntimeError("boom")
+
+
+class TestBatteryErrorContext:
+    def test_in_process_failure_names_task_and_instance(self):
+        instances = [rigid_chain(2), rigid_chain(3)]
+        with pytest.raises(BatteryTaskError) as err:
+            run_battery(instances, "always_fails", max_workers=1)
+        exc = err.value
+        assert exc.task == "always_fails"
+        assert exc.instance == instances[0].name
+        assert exc.index == 0
+        assert isinstance(exc.__cause__, RuntimeError)
+        assert "always_fails" in str(exc) and instances[0].name in str(exc)
+
+    def test_pool_failure_survives_pickling(self):
+        instances = [rigid_chain(2), rigid_chain(3)]
+        with pytest.raises(BatteryTaskError) as err:
+            run_battery(instances, "always_fails", max_workers=2)
+        # Context must survive the process boundary via the message.
+        assert "always_fails" in str(err.value)
+        assert "battery index" in str(err.value)
+
+    def test_in_process_skips_serialization(self, monkeypatch):
+        """Regression: ``max_workers=1`` must not round-trip instances
+        through the JSON dict form."""
+        from repro.analysis import parallel
+
+        def banned(*a, **k):  # pragma: no cover - assertion helper
+            raise AssertionError("in-process battery serialized an instance")
+
+        monkeypatch.setattr(parallel, "instance_to_dict", banned)
+        monkeypatch.setattr(parallel, "instance_from_dict", banned)
+        results = run_battery([rigid_chain(2)], "greedy", max_workers=1)
+        assert results[0]["active_time"] >= 1
+
+
+class TestCLIStats:
+    def test_solve_with_stats_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.instances.io import dump_instance
+
+        path = tmp_path / "inst.json"
+        dump_instance(rigid_chain(3), str(path))
+        code = main(["--stats", "solve", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solver stats" in out
+        assert "cache hits" in out
