@@ -1,0 +1,27 @@
+"""Shared sys.path bootstrap: make ``repro`` importable from any CWD.
+
+Every ``bench_e*.py`` starts with ``import _bench_path`` (and nothing
+else) instead of per-file boilerplate.  It works in all three launch
+modes because this directory is always importable there:
+
+* standalone script — Python puts the script's directory first on
+  ``sys.path``;
+* ``pytest benchmarks/`` — pytest inserts the rootdir of each test
+  module;
+* the benchkit harness — ``repro.benchkit.registry.discover`` inserts
+  the benchmarks directory before importing the modules.
+
+If ``repro`` is already importable (installed, or ``PYTHONPATH=src``)
+this is a no-op; otherwise the checkout's ``src/`` is prepended.
+"""
+
+from __future__ import annotations
+
+import sys
+from importlib.util import find_spec
+from pathlib import Path
+
+if find_spec("repro") is None:  # pragma: no cover - depends on caller env
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,17 @@
+"""Shared helpers importable from every bench module.
+
+Lives under a private, collision-proof name: bench modules are imported
+in three contexts (standalone script, ``pytest benchmarks/``, and
+harness discovery inside an arbitrary process), and in the last one a
+``conftest`` module from another rootdir may already occupy
+``sys.modules`` — so the shared pieces cannot live in ``conftest.py``.
+"""
+
+from __future__ import annotations
+
+import _bench_path  # noqa: F401  (repo src/ -> sys.path, any-CWD runs)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive callable with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

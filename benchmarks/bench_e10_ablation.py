@@ -8,21 +8,31 @@ rounded solution built on each relaxation.
 Shape to match: without ceiling constraints the LP drops toward the
 natural-LP value on the gap families (gap → 2); with them, the LP is
 strictly stronger and the rounding certifiably lands within 9/5.
+
+Standalone: ``python benchmarks/bench_e10_ablation.py [--smoke]
+[--seed S] [--json OUT]``.
 """
 
 from __future__ import annotations
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
 from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.benchkit import bench_main, register
 from repro.core.rounding import round_solution
 from repro.core.transform import push_down
 from repro.instances.families import natural_gap, section5_gap
 from repro.instances.generators import random_laminar
 from repro.lp.nested_lp import solve_nested_lp
 from repro.tree.canonical import canonicalize
+
+_HEADERS = [
+    "instance", "LP w/o ceiling", "LP(1)", "OPT", "rounded w/o",
+    "rounded with",
+]
 
 
 def _rounded_total(canon, ceiling: bool) -> tuple[float, float]:
@@ -32,15 +42,26 @@ def _rounded_total(canon, ceiling: bool) -> tuple[float, float]:
     return sol.value, float(rr.x_tilde.sum())
 
 
-@pytest.fixture(scope="module")
-def e10_table():
-    instances = [natural_gap(3), natural_gap(6), section5_gap(3), section5_gap(4)]
-    for seed in range(3):
-        instances.append(
-            random_laminar(12, 3, horizon=26, seed=1010 + seed, unit_fraction=0.5)
+def _instances(smoke=False, seed_shift=0):
+    if smoke:
+        named = [natural_gap(3), section5_gap(3)]
+        random_count = 2
+    else:
+        named = [natural_gap(3), natural_gap(6), section5_gap(3), section5_gap(4)]
+        random_count = 3
+    for seed in range(random_count):
+        named.append(
+            random_laminar(
+                12, 3, horizon=26, seed=1010 + seed + seed_shift,
+                unit_fraction=0.5,
+            )
         )
+    return named
+
+
+def compute_table(smoke=False, seed_shift=0):
     rows = []
-    for inst in instances:
+    for inst in _instances(smoke, seed_shift):
         canon = canonicalize(inst)
         lp_with, rounded_with = _rounded_total(canon, ceiling=True)
         lp_without, rounded_without = _rounded_total(canon, ceiling=False)
@@ -61,16 +82,45 @@ def e10_table():
     return rows
 
 
+@register(
+    "E10",
+    title="ablation of the ceiling constraints (7)–(8)",
+    claim="DESIGN.md §LP: without (7)–(8) the LP collapses to the natural "
+    "value on the gap families; with them the 9/5 certificate holds",
+)
+def run_bench(ctx):
+    rows = compute_table(smoke=ctx.smoke, seed_shift=ctx.seed_shift)
+    ctx.add_table(
+        "ablation", _HEADERS, rows,
+        title="E10: ablation of ceiling constraints (7)-(8)",
+    )
+    ok_order = ok_lb = ok_cert = True
+    for name, lp_without, lp_with, opt, _, rounded_with in rows:
+        safe = name.replace(",", "_").replace("=", "").replace("(", "_").replace(")", "")
+        ctx.add_metric(f"lp_without_{safe}", lp_without)
+        ctx.add_metric(f"lp_with_{safe}", lp_with)
+        ok_order = ok_order and lp_without <= lp_with + 1e-6
+        if opt is not None:
+            ok_lb = ok_lb and lp_with <= opt + 1e-6
+            ok_cert = ok_cert and rounded_with <= 1.8 * lp_with + 1e-6
+    gap_rows = [r for r in rows if "natural_gap" in r[0]]
+    ctx.add_check("ceiling_never_weakens", ok_order)
+    ctx.add_check("lp_is_lower_bound", ok_lb)
+    ctx.add_check("rounding_keeps_certificate", ok_cert)
+    ctx.add_check(
+        "gap_family_strict_improvement",
+        all(r[2] >= r[1] + 0.4 for r in gap_rows),
+    )
+
+
+@pytest.fixture(scope="module")
+def e10_table():
+    return compute_table()
+
+
 def test_e10_ablation_table(e10_table, benchmark):
     print_table(
-        [
-            "instance",
-            "LP w/o ceiling",
-            "LP(1)",
-            "OPT",
-            "rounded w/o",
-            "rounded with",
-        ],
+        _HEADERS,
         e10_table,
         title="E10: ablation of ceiling constraints (7)-(8)",
     )
@@ -86,3 +136,7 @@ def test_e10_ablation_table(e10_table, benchmark):
     assert all(r[2] >= r[1] + 0.4 for r in gap_rows)
     canon = canonicalize(section5_gap(4))
     run_once(benchmark, _rounded_total, canon, True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

@@ -7,14 +7,19 @@ submodular-cover greedy is an H_g-approximation [12].
 Reproduction: random multi-interval instances plus the structured shift
 family; greedy vs exact optimum; assert every ratio ≤ H_g.  Shape to
 match: greedy well inside its harmonic bound, typically near-optimal.
+
+Standalone: ``python benchmarks/bench_e11_multiinterval.py [--smoke]
+[--seed S] [--json OUT]``.
 """
 
 from __future__ import annotations
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
+from repro.benchkit import bench_main, register
 from repro.multiinterval import (
     exact_optimum,
     harmonic,
@@ -23,18 +28,36 @@ from repro.multiinterval import (
     wolsey_greedy,
 )
 
+_HEADERS = ["instance", "n", "g", "OPT", "greedy", "ratio", "H_g bound", "pruned"]
 
-@pytest.fixture(scope="module")
-def e11_table():
-    instances = [
-        random_multi_interval(6, 2, seed=s, horizon=14) for s in range(6)
-    ]
-    instances += [
-        random_multi_interval(7, 3, seed=100 + s, horizon=16) for s in range(4)
-    ]
-    instances += [shift_family(2, 3), shift_family(3, 3), shift_family(3, 4)]
+
+def _instances(smoke=False, seed_shift=0):
+    if smoke:
+        instances = [
+            random_multi_interval(6, 2, seed=s + seed_shift, horizon=14)
+            for s in range(3)
+        ]
+        instances += [
+            random_multi_interval(7, 3, seed=100 + s + seed_shift, horizon=16)
+            for s in range(2)
+        ]
+        instances += [shift_family(2, 3)]
+    else:
+        instances = [
+            random_multi_interval(6, 2, seed=s + seed_shift, horizon=14)
+            for s in range(6)
+        ]
+        instances += [
+            random_multi_interval(7, 3, seed=100 + s + seed_shift, horizon=16)
+            for s in range(4)
+        ]
+        instances += [shift_family(2, 3), shift_family(3, 3), shift_family(3, 4)]
+    return instances
+
+
+def compute_table(smoke=False, seed_shift=0):
     rows = []
-    for inst in instances:
+    for inst in _instances(smoke, seed_shift):
         result = wolsey_greedy(inst)
         opt = exact_optimum(inst)
         rows.append(
@@ -52,9 +75,35 @@ def e11_table():
     return rows
 
 
+@register(
+    "E11",
+    title="multi-interval active time: Wolsey greedy vs exact",
+    claim="Related work [2]/[12]: the submodular-cover greedy is an "
+    "H_g-approximation for multi-interval active time",
+)
+def run_bench(ctx):
+    rows = compute_table(smoke=ctx.smoke, seed_shift=ctx.seed_shift)
+    ctx.add_table(
+        "greedy", _HEADERS, rows,
+        title="E11: multi-interval active time — Wolsey greedy vs exact",
+    )
+    max_ratio = max(row[5] for row in rows)
+    ctx.add_metric("max_greedy_ratio", max_ratio)
+    ctx.add_metric("instances", len(rows))
+    ctx.add_check(
+        "within_harmonic_bound",
+        all(row[5] <= row[6] + 1e-9 for row in rows),
+    )
+
+
+@pytest.fixture(scope="module")
+def e11_table():
+    return compute_table()
+
+
 def test_e11_multiinterval_table(e11_table, benchmark):
     print_table(
-        ["instance", "n", "g", "OPT", "greedy", "ratio", "H_g bound", "pruned"],
+        _HEADERS,
         e11_table,
         title="E11: multi-interval active time — Wolsey greedy vs exact",
     )
@@ -62,3 +111,7 @@ def test_e11_multiinterval_table(e11_table, benchmark):
         assert row[5] <= row[6] + 1e-9, f"H_g bound violated on {row[0]}"
     inst = random_multi_interval(7, 3, seed=101, horizon=16)
     run_once(benchmark, wolsey_greedy, inst)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

@@ -8,30 +8,45 @@ extension).  Two measurements:
   optimum (empirical competitive ratio);
 * on scattered-release instances: how often each policy hits the
   bounded-capacity impossibility documented in ``repro.online.policies``.
+
+Standalone: ``python benchmarks/bench_e12_online.py [--smoke]
+[--seed S] [--json OUT]``.
 """
 
 from __future__ import annotations
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
 from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.benchkit import bench_main, register
 from repro.instances.generators import random_laminar
 from repro.online import EagerActivation, LazyActivation, run_online
 from repro.util.errors import InfeasibleInstanceError
+
+_FULL_SHARED = 8
+_SMOKE_SHARED = 4
+_FULL_SCATTERED = 30
+_SMOKE_SCATTERED = 10
+
+_SHARED_HEADERS = ["instance", "n", "OPT", "lazy", "eager", "lazy/OPT", "eager/OPT"]
+_RATE_HEADERS = ["policy", "trials", "infeasibility failures", "rate"]
 
 
 def _shared_release(inst):
     return inst.with_jobs([j.with_window(0, j.deadline) for j in inst.jobs])
 
 
-@pytest.fixture(scope="module")
-def e12_shared_table():
+def compute_shared(trials=_FULL_SHARED, seed_shift=0):
     rows = []
-    for seed in range(8):
+    for seed in range(trials):
         inst = _shared_release(
-            random_laminar(9, 3, horizon=20, seed=300 + seed, unit_fraction=0.4)
+            random_laminar(
+                9, 3, horizon=20, seed=300 + seed + seed_shift,
+                unit_fraction=0.4,
+            )
         )
         lazy = run_online(inst, LazyActivation()).active_time
         eager = run_online(inst, EagerActivation()).active_time
@@ -41,7 +56,7 @@ def e12_shared_table():
             opt = None
         rows.append(
             [
-                f"seed={300 + seed}",
+                f"seed={300 + seed + seed_shift}",
                 inst.n,
                 opt,
                 lazy,
@@ -53,12 +68,10 @@ def e12_shared_table():
     return rows
 
 
-@pytest.fixture(scope="module")
-def e12_failure_rates():
-    trials = 30
+def compute_failure_rates(trials=_FULL_SCATTERED, seed_shift=0):
     fails = {"lazy": 0, "eager": 0}
     for seed in range(trials):
-        inst = random_laminar(8, 2, horizon=18, seed=seed)
+        inst = random_laminar(8, 2, horizon=18, seed=seed + seed_shift)
         for name, policy in (("lazy", LazyActivation()), ("eager", EagerActivation())):
             try:
                 run_online(inst, policy)
@@ -67,15 +80,65 @@ def e12_failure_rates():
     return trials, fails
 
 
+@register(
+    "E12",
+    title="online activation policies: lazy vs eager vs offline OPT",
+    claim="Extension: no online policy is always feasible under bounded "
+    "capacity; on shared releases lazy ≤ eager and stays near OPT",
+)
+def run_bench(ctx):
+    shared = compute_shared(
+        ctx.pick(_FULL_SHARED, _SMOKE_SHARED), ctx.seed_shift
+    )
+    trials, fails = compute_failure_rates(
+        ctx.pick(_FULL_SCATTERED, _SMOKE_SCATTERED), ctx.seed_shift
+    )
+    ctx.add_table(
+        "shared", _SHARED_HEADERS, shared,
+        title="E12a: online policies on shared-release (batch) instances",
+    )
+    ctx.add_table(
+        "impossibility", _RATE_HEADERS,
+        [
+            ["lazy", trials, fails["lazy"], fails["lazy"] / trials],
+            ["eager", trials, fails["eager"], fails["eager"] / trials],
+        ],
+        title="E12b: bounded-capacity impossibility on scattered releases",
+    )
+    ratios = [row[5] for row in shared if row[5] is not None]
+    if ratios:
+        ctx.add_metric("max_lazy_ratio", max(ratios))
+    ctx.add_metric("lazy_failures", fails["lazy"])
+    ctx.add_metric("eager_failures", fails["eager"])
+    ctx.add_check(
+        "lazy_never_worse_than_eager",
+        all(row[3] <= row[4] for row in shared),
+    )
+    ctx.add_check(
+        "lazy_competitive_on_batch",
+        all(1.0 - 1e-9 <= r <= 3.0 for r in ratios),
+    )
+
+
+@pytest.fixture(scope="module")
+def e12_shared_table():
+    return compute_shared()
+
+
+@pytest.fixture(scope="module")
+def e12_failure_rates():
+    return compute_failure_rates()
+
+
 def test_e12_online_table(e12_shared_table, e12_failure_rates, benchmark):
     print_table(
-        ["instance", "n", "OPT", "lazy", "eager", "lazy/OPT", "eager/OPT"],
+        _SHARED_HEADERS,
         e12_shared_table,
         title="E12a: online policies on shared-release (batch) instances",
     )
     trials, fails = e12_failure_rates
     print_table(
-        ["policy", "trials", "infeasibility failures", "rate"],
+        _RATE_HEADERS,
         [
             ["lazy", trials, fails["lazy"], fails["lazy"] / trials],
             ["eager", trials, fails["eager"], fails["eager"] / trials],
@@ -89,3 +152,7 @@ def test_e12_online_table(e12_shared_table, e12_failure_rates, benchmark):
             assert 1.0 - 1e-9 <= r_lazy <= 3.0
     inst = _shared_release(random_laminar(9, 3, horizon=20, seed=301))
     run_once(benchmark, run_online, inst, LazyActivation())
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

@@ -5,21 +5,33 @@ interval jobs on a pool of capacity-g machines, minimize total powered
 time — is the harder sibling of active time.  We measure the classic
 longest-first best-fit greedy against the exact optimum (tiny instances)
 and the standard ``max(span, load)`` lower bound (larger ones).
+
+Standalone: ``python benchmarks/bench_e13_busytime.py [--smoke]
+[--seed S] [--json OUT]``.
 """
 
 from __future__ import annotations
 
 import random
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
+from repro.benchkit import bench_main, register
 from repro.busytime import (
     BusyTimeInstance,
     exact_busy_time,
     first_fit_decreasing,
 )
+
+_FULL_EXACT_TRIALS = 6
+_SMOKE_EXACT_TRIALS = 3
+_FULL_LB_TRIALS = 4
+_SMOKE_LB_TRIALS = 2
+
+_HEADERS = ["instance", "n", "g", "LB", "OPT", "greedy", "ratio (vs OPT or LB)"]
 
 
 def _random_instance(seed: int, n: int, g: int, horizon: int = 20):
@@ -32,11 +44,12 @@ def _random_instance(seed: int, n: int, g: int, horizon: int = 20):
     return BusyTimeInstance.from_pairs(pairs, g, name=f"bt(n={n},g={g},s={seed})")
 
 
-@pytest.fixture(scope="module")
-def e13_table():
+def compute_table(
+    exact_trials=_FULL_EXACT_TRIALS, lb_trials=_FULL_LB_TRIALS, seed_shift=0
+):
     rows = []
-    for seed in range(6):
-        inst = _random_instance(seed, n=7, g=2)
+    for seed in range(exact_trials):
+        inst = _random_instance(seed + seed_shift, n=7, g=2)
         greedy = first_fit_decreasing(inst)
         opt = exact_busy_time(inst)
         rows.append(
@@ -50,8 +63,8 @@ def e13_table():
                 greedy.busy_time / opt,
             ]
         )
-    for seed in range(4):
-        inst = _random_instance(100 + seed, n=30, g=3, horizon=40)
+    for seed in range(lb_trials):
+        inst = _random_instance(100 + seed + seed_shift, n=30, g=3, horizon=40)
         greedy = first_fit_decreasing(inst)
         rows.append(
             [
@@ -67,9 +80,36 @@ def e13_table():
     return rows
 
 
+@register(
+    "E13",
+    title="busy-time: longest-first best-fit greedy",
+    claim="Related work [5]/[8]: the longest-first best-fit greedy stays "
+    "within the cited constant factor of OPT / the max(span, load) bound",
+)
+def run_bench(ctx):
+    rows = compute_table(
+        ctx.pick(_FULL_EXACT_TRIALS, _SMOKE_EXACT_TRIALS),
+        ctx.pick(_FULL_LB_TRIALS, _SMOKE_LB_TRIALS),
+        ctx.seed_shift,
+    )
+    ctx.add_table(
+        "greedy", _HEADERS, rows,
+        title="E13: busy-time — longest-first best-fit greedy",
+    )
+    max_ratio = max(row[6] for row in rows)
+    ctx.add_metric("max_ratio", max_ratio)
+    ctx.add_metric("instances", len(rows))
+    ctx.add_check("within_constant_factor", max_ratio <= 4.0 + 1e-9)
+
+
+@pytest.fixture(scope="module")
+def e13_table():
+    return compute_table()
+
+
 def test_e13_busytime_table(e13_table, benchmark):
     print_table(
-        ["instance", "n", "g", "LB", "OPT", "greedy", "ratio (vs OPT or LB)"],
+        _HEADERS,
         e13_table,
         title="E13: busy-time — longest-first best-fit greedy",
     )
@@ -77,3 +117,7 @@ def test_e13_busytime_table(e13_table, benchmark):
         assert row[6] <= 4.0 + 1e-9, "cited constant factor exceeded"
     inst = _random_instance(7, n=30, g=3, horizon=40)
     run_once(benchmark, first_fit_decreasing, inst)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

@@ -9,18 +9,20 @@ chain adds no overhead on the happy path.
 Printed table: per phase (cold/warm) the wall time, LP solve requests,
 cache hits, and per-backend solve counts.  Runnable standalone for CI::
 
-    PYTHONPATH=src python benchmarks/bench_e14_solver_cache.py --smoke
+    python benchmarks/bench_e14_solver_cache.py --smoke [--json OUT]
 """
 
 from __future__ import annotations
 
 from time import perf_counter
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.parallel import run_battery
-from repro.analysis.tables import print_table, render_table
+from repro.analysis.tables import print_table
+from repro.benchkit import bench_main, register
 from repro.instances.generators import laminar_suite
 from repro.solver import (
     SolverService,
@@ -48,13 +50,14 @@ def _phase_row(name: str, wall: float, delta: dict) -> list:
 
 def run_cold_warm(sizes=_FULL_SIZES, seed=2022, task="solve_nested"):
     """Run one battery cold then warm on a fresh service; return rows +
-    the two stats deltas."""
+    the two stats deltas and the per-phase wall times."""
     instances = laminar_suite(seed=seed, sizes=sizes)
     service = SolverService()
     previous = set_service(service)
     try:
         rows = []
         deltas = []
+        walls = []
         for phase in ("cold", "warm"):
             before = solver_stats()
             t0 = perf_counter()
@@ -63,7 +66,8 @@ def run_cold_warm(sizes=_FULL_SIZES, seed=2022, task="solve_nested"):
             delta = stats_delta(solver_stats(), before)
             rows.append(_phase_row(phase, wall, delta))
             deltas.append(delta)
-        return instances, rows, deltas
+            walls.append(wall)
+        return instances, rows, deltas, walls
     finally:
         set_service(previous)
 
@@ -79,9 +83,39 @@ _HEADERS = [
 ]
 
 
+@register(
+    "E14",
+    title="solve cache: cold vs warm battery",
+    claim="Solver service: a warm battery re-run is answered entirely "
+    "from the content-addressed cache — zero backend solves",
+)
+def run_bench(ctx):
+    sizes = ctx.pick(_FULL_SIZES, _SMOKE_SIZES)
+    instances, rows, (cold, warm), (cold_wall, warm_wall) = run_cold_warm(
+        sizes=sizes, seed=ctx.seed
+    )
+    ctx.add_table(
+        "cold_warm", _HEADERS, rows,
+        title=f"E14 — solve cache, battery of {len(instances)} instances",
+    )
+    warm_backend_solves = sum(
+        p["solves"] for p in warm.get("backends", {}).values()
+    )
+    ctx.add_metric("battery_size", len(instances))
+    ctx.add_metric("cold_solves", cold["solves"])
+    ctx.add_metric("cold_cache_misses", cold["cache_misses"])
+    ctx.add_metric("warm_cache_hits", warm["cache_hits"])
+    ctx.add_metric("warm_backend_solves", warm_backend_solves)
+    ctx.add_timing("cold_battery_s", cold_wall)
+    ctx.add_timing("warm_battery_s", warm_wall)
+    ctx.add_check("warm_run_is_pure_cache", warm_backend_solves == 0)
+    ctx.add_check("warm_hits_everything", warm["cache_hits"] == warm["solves"] > 0)
+    ctx.add_check("cold_run_misses", cold["cache_misses"] > 0)
+
+
 @pytest.fixture(scope="module")
 def e14_table():
-    instances, rows, deltas = run_cold_warm()
+    instances, rows, deltas, _ = run_cold_warm()
     print_table(
         _HEADERS,
         rows,
@@ -116,38 +150,5 @@ class TestSolverCache:
             set_service(previous)
 
 
-def main(argv: list[str] | None = None) -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small battery for CI: fast, still asserts the warm run "
-        "performs zero backend solves",
-    )
-    args = parser.parse_args(argv)
-    sizes = _SMOKE_SIZES if args.smoke else _FULL_SIZES
-    instances, rows, (cold, warm) = run_cold_warm(sizes=sizes)
-    print(
-        render_table(
-            _HEADERS,
-            rows,
-            title=f"E14 — solve cache, battery of {len(instances)} instances",
-        )
-    )
-    warm_backend_solves = sum(
-        p["solves"] for p in warm.get("backends", {}).values()
-    )
-    if warm_backend_solves != 0:
-        print(f"FAIL: warm battery performed {warm_backend_solves} backend solves")
-        return 1
-    if cold["cache_misses"] == 0:
-        print("FAIL: cold battery hit the cache (stale state?)")
-        return 1
-    print("ok: warm battery answered entirely from cache")
-    return 0
-
-
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(bench_main(run_bench))

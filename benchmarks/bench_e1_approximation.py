@@ -7,20 +7,25 @@ Reproduction: sweep random laminar instances (several sizes and
 capacities), compare the algorithm's active time against the exact optimum
 and the LP lower bound, and print the ratio table.  The *shape* to match:
 every ratio ≤ 1.8, typically far below.
+
+Standalone: ``python benchmarks/bench_e1_approximation.py [--smoke]
+[--seed S] [--json OUT]``.
 """
 
 from __future__ import annotations
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
 from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.benchkit import bench_main, register
 from repro.core.algorithm import solve_nested
 from repro.core.rounding import APPROX_FACTOR
 from repro.instances.generators import random_laminar
 
-_CONFIGS = [
+_FULL_CONFIGS = [
     (6, 2, 14),
     (10, 2, 20),
     (10, 4, 20),
@@ -29,18 +34,27 @@ _CONFIGS = [
     (24, 6, 40),
     (40, 4, 70),
 ]
-_SEEDS = range(5)
+_SMOKE_CONFIGS = [(6, 2, 14), (10, 2, 20), (10, 4, 20)]
+_FULL_TRIALS = 5
+_SMOKE_TRIALS = 2
+
+_HEADERS = [
+    "n", "g", "trials", "exact solved", "max ALG/OPT", "mean ALG/OPT",
+    "max ALG/LP",
+]
 
 
-@pytest.fixture(scope="module")
-def e1_table():
+def compute_table(configs=_FULL_CONFIGS, trials=_FULL_TRIALS, seed_shift=0):
+    """The ratio table plus the worst observed ALG/OPT and ALG/LP."""
     rows = []
     overall_max = 0.0
-    for n, g, horizon in _CONFIGS:
+    overall_lp_max = 0.0
+    for n, g, horizon in configs:
         ratios_opt, ratios_lp, solved = [], [], 0
-        for seed in _SEEDS:
+        for seed in range(trials):
             inst = random_laminar(
-                n, g, horizon=horizon, seed=1000 * n + seed, unit_fraction=0.4
+                n, g, horizon=horizon, seed=1000 * n + seed + seed_shift,
+                unit_fraction=0.4,
             )
             result = solve_nested(inst)
             assert result.schedule.is_valid and result.repairs == 0
@@ -54,24 +68,52 @@ def e1_table():
         max_opt = max(ratios_opt) if ratios_opt else None
         if max_opt:
             overall_max = max(overall_max, max_opt)
+        overall_lp_max = max(overall_lp_max, max(ratios_lp))
         rows.append(
             [
                 n,
                 g,
-                len(list(_SEEDS)),
+                trials,
                 solved,
                 max_opt,
                 sum(ratios_opt) / len(ratios_opt) if ratios_opt else None,
                 max(ratios_lp),
             ]
         )
+    return rows, overall_max, overall_lp_max
+
+
+@register(
+    "E1",
+    title="9/5-approximation on random laminar instances",
+    claim="Theorem 4.15: ALG ≤ (9/5)·OPT and the schedule is feasible on "
+    "every nested instance",
+)
+def run_bench(ctx):
+    configs = ctx.pick(_FULL_CONFIGS, _SMOKE_CONFIGS)
+    trials = ctx.pick(_FULL_TRIALS, _SMOKE_TRIALS)
+    rows, overall_max, lp_max = compute_table(configs, trials, ctx.seed_shift)
+    ctx.add_table(
+        "ratios", _HEADERS, rows,
+        title=f"E1: 9/5-approximation (bound {APPROX_FACTOR})",
+    )
+    ctx.add_metric("max_alg_over_opt", overall_max)
+    ctx.add_metric("max_alg_over_lp", lp_max)
+    ctx.add_metric("exact_solved", sum(row[3] for row in rows))
+    ctx.add_check("ratio_within_9_5", overall_max <= APPROX_FACTOR + 1e-9)
+    ctx.add_check("lp_ratio_within_9_5", lp_max <= APPROX_FACTOR + 1e-9)
+
+
+@pytest.fixture(scope="module")
+def e1_table():
+    rows, overall_max, _ = compute_table()
     return rows, overall_max
 
 
 def test_e1_ratio_table(e1_table, benchmark):
     rows, overall_max = e1_table
     print_table(
-        ["n", "g", "trials", "exact solved", "max ALG/OPT", "mean ALG/OPT", "max ALG/LP"],
+        _HEADERS,
         rows,
         title="E1: 9/5-approximation on random laminar instances "
         f"(bound {APPROX_FACTOR})",
@@ -85,3 +127,7 @@ def test_e1_every_lp_ratio_within_bound(e1_table):
     rows, _ = e1_table
     for row in rows:
         assert row[-1] <= APPROX_FACTOR + 1e-9
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

@@ -6,21 +6,31 @@ of OPT).
 
 Reproduction: larger random sweep than E1 (no exact solves needed); print
 the distribution of ``Σx̃ / Σx`` and assert the bound.
+
+Standalone: ``python benchmarks/bench_e2_rounding_budget.py [--smoke]
+[--seed S] [--json OUT]``.
 """
 
 from __future__ import annotations
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
+from repro.benchkit import bench_main, register
 from repro.core.rounding import APPROX_FACTOR, round_solution
 from repro.core.transform import push_down
 from repro.instances.generators import random_laminar
 from repro.lp.nested_lp import solve_nested_lp
 from repro.tree.canonical import canonicalize
 
-_CONFIGS = [(12, 2, 26), (20, 3, 40), (30, 4, 55), (48, 5, 90), (64, 6, 120)]
+_FULL_CONFIGS = [(12, 2, 26), (20, 3, 40), (30, 4, 55), (48, 5, 90), (64, 6, 120)]
+_SMOKE_CONFIGS = [(12, 2, 26), (20, 3, 40)]
+_FULL_TRIALS = 6
+_SMOKE_TRIALS = 3
+
+_HEADERS = ["n", "g", "min Σx̃/Σx", "mean Σx̃/Σx", "max Σx̃/Σx"]
 
 
 def _round_ratio(inst):
@@ -32,32 +42,62 @@ def _round_ratio(inst):
     return float(rr.x_tilde.sum()) / max(lp_total, 1e-9), rr.budget_ok
 
 
-@pytest.fixture(scope="module")
-def e2_table():
+def compute_table(configs=_FULL_CONFIGS, trials=_FULL_TRIALS, seed_shift=0):
     rows = []
     worst = 0.0
-    for n, g, horizon in _CONFIGS:
+    all_budget_ok = True
+    for n, g, horizon in configs:
         ratios = []
-        for seed in range(6):
+        for seed in range(trials):
             inst = random_laminar(
-                n, g, horizon=horizon, seed=7000 + 13 * seed + n,
+                n, g, horizon=horizon, seed=7000 + 13 * seed + n + seed_shift,
                 unit_fraction=0.5,
             )
             ratio, ok = _round_ratio(inst)
-            assert ok
+            all_budget_ok = all_budget_ok and ok
             ratios.append(ratio)
         worst = max(worst, max(ratios))
         rows.append([n, g, min(ratios), sum(ratios) / len(ratios), max(ratios)])
+    return rows, worst, all_budget_ok
+
+
+@register(
+    "E2",
+    title="Lemma 3.3 rounding budget",
+    claim="Lemma 3.3: Σx̃ ≤ (9/5)·Σx for the Algorithm 1 output on every "
+    "instance",
+)
+def run_bench(ctx):
+    configs = ctx.pick(_FULL_CONFIGS, _SMOKE_CONFIGS)
+    trials = ctx.pick(_FULL_TRIALS, _SMOKE_TRIALS)
+    rows, worst, budget_ok = compute_table(configs, trials, ctx.seed_shift)
+    ctx.add_table(
+        "budget", _HEADERS, rows,
+        title=f"E2: Lemma 3.3 rounding budget (bound {APPROX_FACTOR})",
+    )
+    ctx.add_metric("max_rounding_ratio", worst)
+    ctx.add_check("budget_certificates_ok", budget_ok)
+    ctx.add_check("within_9_5", worst <= APPROX_FACTOR + 1e-9)
+
+
+@pytest.fixture(scope="module")
+def e2_table():
+    rows, worst, budget_ok = compute_table()
+    assert budget_ok
     return rows, worst
 
 
 def test_e2_budget_table(e2_table, benchmark):
     rows, worst = e2_table
     print_table(
-        ["n", "g", "min Σx̃/Σx", "mean Σx̃/Σx", "max Σx̃/Σx"],
+        _HEADERS,
         rows,
         title=f"E2: Lemma 3.3 rounding budget (bound {APPROX_FACTOR})",
     )
     assert worst <= APPROX_FACTOR + 1e-9
     inst = random_laminar(30, 4, horizon=55, seed=1, unit_fraction=0.5)
     run_once(benchmark, _round_ratio, inst)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

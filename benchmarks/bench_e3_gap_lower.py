@@ -8,27 +8,38 @@ so the gap approaches 3/2 as g grows.
 Reproduction: sweep g, solve both relaxations exactly, solve the instance
 exactly, print the table.  Shape to match: LP values ≤ g+2, OPT = g+⌈g/2⌉,
 gap increasing toward 1.5.
+
+Standalone: ``python benchmarks/bench_e3_gap_lower.py [--smoke]
+[--seed S] [--json OUT]``.  (The instances are deterministic; ``--seed``
+is accepted for interface uniformity and ignored.)
 """
 
 from __future__ import annotations
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
 from repro.baselines.exact import solve_exact
+from repro.benchkit import bench_main, register
 from repro.instances.families import section5_gap, section5_predictions
 from repro.lp.cw_lp import solve_cw_lp
 from repro.lp.nested_lp import solve_nested_lp
 from repro.tree.canonical import canonicalize
 
-_GS = [2, 3, 4, 5, 6, 8]
+_FULL_GS = [2, 3, 4, 5, 6, 8]
+_SMOKE_GS = [2, 3, 4]
+
+_HEADERS = [
+    "g", "LP(1)", "CW LP", "paper frac ≤", "OPT", "paper OPT",
+    "gap LP(1)", "gap CW",
+]
 
 
-@pytest.fixture(scope="module")
-def e3_table():
+def compute_table(gs=_FULL_GS):
     rows = []
-    for g in _GS:
+    for g in gs:
         inst = section5_gap(g)
         pred = section5_predictions(g)
         nested = solve_nested_lp(canonicalize(inst)).value
@@ -49,18 +60,41 @@ def e3_table():
     return rows
 
 
+@register(
+    "E3",
+    title="3/2 gap lower bound for strengthened LPs",
+    claim="Lemma 5.1: LP(1) and the CW LP stay ≤ g+2 on the Section 5 "
+    "instance while OPT = g+⌈g/2⌉, so the gap tends to 3/2",
+)
+def run_bench(ctx):
+    rows = compute_table(ctx.pick(_FULL_GS, _SMOKE_GS))
+    ctx.add_table(
+        "gaps", _HEADERS, rows,
+        title="E3: Lemma 5.1 — 3/2 gap lower bound on nested instances",
+    )
+    ok_frac = ok_opt = ok_gap = True
+    for g, nested, cw, frac_ub, opt, pred_opt, gap_nested, gap_cw in rows:
+        ctx.add_metric(f"lp1_g{g}", nested)
+        ctx.add_metric(f"cw_g{g}", cw)
+        ctx.add_metric(f"opt_g{g}", opt)
+        ctx.add_metric(f"gap_lp1_g{g}", gap_nested)
+        ok_frac = ok_frac and nested <= frac_ub + 1e-6 and cw <= frac_ub + 1e-6
+        ok_opt = ok_opt and opt == pred_opt
+        ok_gap = ok_gap and gap_nested <= 1.5 + 1e-9
+    ctx.add_check("fractional_values_within_paper_bound", ok_frac)
+    ctx.add_check("opt_matches_prediction", ok_opt)
+    ctx.add_check("gap_below_3_2", ok_gap)
+    ctx.add_check("gap_grows", rows[-1][6] > rows[0][6])
+
+
+@pytest.fixture(scope="module")
+def e3_table():
+    return compute_table()
+
+
 def test_e3_gap_table(e3_table, benchmark):
     print_table(
-        [
-            "g",
-            "LP(1)",
-            "CW LP",
-            "paper frac ≤",
-            "OPT",
-            "paper OPT",
-            "gap LP(1)",
-            "gap CW",
-        ],
+        _HEADERS,
         e3_table,
         title="E3: Lemma 5.1 — 3/2 gap lower bound on nested instances",
     )
@@ -77,3 +111,7 @@ def test_e3_gap_table(e3_table, benchmark):
         assert gaps == sorted(gaps), "gap should increase toward 3/2"
     assert e3_table[-1][6] > e3_table[0][6]
     run_once(benchmark, lambda: solve_cw_lp(section5_gap(5)).value)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

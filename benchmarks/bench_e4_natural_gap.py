@@ -7,27 +7,37 @@ constraints close that particular gap completely.
 Reproduction: on the ``g+1`` unit-jobs family, sweep g, report both LP
 values and OPT.  Shape to match: natural gap = 2g/(g+1) increasing toward
 2, strengthened gap pinned at 1.
+
+Standalone: ``python benchmarks/bench_e4_natural_gap.py [--smoke]
+[--seed S] [--json OUT]``.  (Deterministic family; ``--seed`` ignored.)
 """
 
 from __future__ import annotations
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
 from repro.baselines.exact import solve_exact
+from repro.benchkit import bench_main, register
 from repro.instances.families import natural_gap, natural_gap_predictions
 from repro.lp.natural_lp import solve_natural_lp
 from repro.lp.nested_lp import solve_nested_lp
 from repro.tree.canonical import canonicalize
 
-_GS = [2, 3, 4, 6, 8, 12, 16]
+_FULL_GS = [2, 3, 4, 6, 8, 12, 16]
+_SMOKE_GS = [2, 3, 4]
+
+_HEADERS = [
+    "g", "natural LP", "predicted", "LP(1)", "OPT", "natural gap",
+    "LP(1) gap",
+]
 
 
-@pytest.fixture(scope="module")
-def e4_table():
+def compute_table(gs=_FULL_GS):
     rows = []
-    for g in _GS:
+    for g in gs:
         inst = natural_gap(g)
         pred = natural_gap_predictions(g)
         nat = solve_natural_lp(inst).value
@@ -39,9 +49,41 @@ def e4_table():
     return rows
 
 
+@register(
+    "E4",
+    title="natural LP gap → 2; ceiling constraints close it",
+    claim="The natural LP's gap is 2g/(g+1) on the g+1 unit-jobs family "
+    "while LP(1) is exact there",
+)
+def run_bench(ctx):
+    rows = compute_table(ctx.pick(_FULL_GS, _SMOKE_GS))
+    ctx.add_table(
+        "separation", _HEADERS, rows,
+        title="E4: natural LP gap → 2; ceiling constraints close it",
+    )
+    ok_pred = ok_opt = ok_strong = True
+    for g, nat, pred, strong, opt, gap_nat, gap_strong in rows:
+        ctx.add_metric(f"natural_lp_g{g}", nat)
+        ctx.add_metric(f"natural_gap_g{g}", gap_nat)
+        ctx.add_metric(f"lp1_gap_g{g}", gap_strong)
+        ok_pred = ok_pred and abs(nat - pred) <= 1e-6
+        ok_opt = ok_opt and opt == 2
+        ok_strong = ok_strong and abs(gap_strong - 1.0) <= 1e-6
+    ctx.add_check("natural_lp_matches_prediction", ok_pred)
+    ctx.add_check("opt_is_two", ok_opt)
+    ctx.add_check("strengthened_gap_is_one", ok_strong)
+    gaps = [row[5] for row in rows]
+    ctx.add_check("natural_gap_monotone", gaps == sorted(gaps))
+
+
+@pytest.fixture(scope="module")
+def e4_table():
+    return compute_table()
+
+
 def test_e4_natural_gap_table(e4_table, benchmark):
     print_table(
-        ["g", "natural LP", "predicted", "LP(1)", "OPT", "natural gap", "LP(1) gap"],
+        _HEADERS,
         e4_table,
         title="E4: natural LP gap → 2; ceiling constraints close it",
     )
@@ -53,3 +95,7 @@ def test_e4_natural_gap_table(e4_table, benchmark):
     gaps = [row[5] for row in e4_table]
     assert gaps == sorted(gaps) and gaps[-1] > 1.8
     run_once(benchmark, lambda: solve_natural_lp(natural_gap(12)).value)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

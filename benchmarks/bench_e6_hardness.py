@@ -7,16 +7,21 @@ Reproduction: random small set-cover instances pushed through both
 reductions; the decision answers must agree with brute force at every
 stage.  Shape to match: 100% agreement, reduced instances laminar, scalars
 polynomially bounded.
+
+Standalone: ``python benchmarks/bench_e6_hardness.py [--smoke]
+[--seed S] [--json OUT]``.
 """
 
 from __future__ import annotations
 
 import random
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
+from repro.benchkit import bench_main, register
 from repro.hardness.prefix_sum_cover import psc_decision
 from repro.hardness.reductions import (
     active_time_decision,
@@ -25,7 +30,14 @@ from repro.hardness.reductions import (
 )
 from repro.hardness.set_cover import SetCoverInstance, set_cover_decision
 
-_TRIALS = 12
+_FULL_TRIALS = 12
+_SMOKE_TRIALS = 4
+_BASE_SEED = 606
+
+_HEADERS = [
+    "trial", "set cover", "SC answer", "PSC answer", "active-time answer",
+    "jobs", "g", "laminar",
+]
 
 
 def _random_sc(rng):
@@ -37,12 +49,11 @@ def _random_sc(rng):
     return SetCoverInstance(universe_size=d, sets=sets, k=rng.randint(1, n))
 
 
-@pytest.fixture(scope="module")
-def e6_table():
-    rng = random.Random(606)
+def compute_table(trials=_FULL_TRIALS, seed_shift=0):
+    rng = random.Random(_BASE_SEED + seed_shift)
     rows = []
     agree_psc = agree_at = 0
-    for trial in range(_TRIALS):
+    for trial in range(trials):
         sc = _random_sc(rng)
         psc = set_cover_to_psc(sc)
         red = psc_to_active_time(psc)
@@ -66,19 +77,37 @@ def e6_table():
     return rows, agree_psc, agree_at
 
 
+@register(
+    "E6",
+    title="NP-completeness reduction chain (Section 6)",
+    claim="Section 6: set cover → prefix sum cover → nested active time "
+    "preserves the decision answer; reduced instances stay laminar",
+)
+def run_bench(ctx):
+    trials = ctx.pick(_FULL_TRIALS, _SMOKE_TRIALS)
+    rows, agree_psc, agree_at = compute_table(trials, ctx.seed_shift)
+    ctx.add_table(
+        "chain", _HEADERS, rows,
+        title="E6: NP-completeness reduction chain (Section 6)",
+    )
+    ctx.add_metric("trials", trials)
+    ctx.add_metric("psc_agreements", agree_psc)
+    ctx.add_metric("active_time_agreements", agree_at)
+    ctx.add_metric("max_reduced_jobs", max(row[5] for row in rows))
+    ctx.add_check("psc_chain_agrees", agree_psc == trials)
+    ctx.add_check("active_time_chain_agrees", agree_at == trials)
+    ctx.add_check("all_reduced_laminar", all(row[-1] for row in rows))
+
+
+@pytest.fixture(scope="module")
+def e6_table():
+    return compute_table()
+
+
 def test_e6_reduction_table(e6_table, benchmark):
     rows, agree_psc, agree_at = e6_table
     print_table(
-        [
-            "trial",
-            "set cover",
-            "SC answer",
-            "PSC answer",
-            "active-time answer",
-            "jobs",
-            "g",
-            "laminar",
-        ],
+        _HEADERS,
         rows,
         title="E6: NP-completeness reduction chain (Section 6)",
     )
@@ -93,3 +122,7 @@ def test_e6_reduction_table(e6_table, benchmark):
             psc_to_active_time(set_cover_to_psc(sc)), node_budget=3_000_000
         ),
     )
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

@@ -6,14 +6,19 @@ no mass; the topmost-positive set then satisfies Claim 1 (1a)–(1e).
 
 Reproduction: run the transformation on LP optima of random instances and
 report invariant checks, objective drift and move counts.
+
+Standalone: ``python benchmarks/bench_e7_transform.py [--smoke]
+[--seed S] [--json OUT]``.
 """
 
 from __future__ import annotations
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
+from repro.benchkit import bench_main, register
 from repro.core.transform import (
     push_down,
     verify_claim1,
@@ -23,7 +28,15 @@ from repro.instances.generators import random_laminar
 from repro.lp.nested_lp import solve_nested_lp
 from repro.tree.canonical import canonicalize
 
-_CONFIGS = [(10, 2, 22), (18, 3, 36), (28, 4, 52), (40, 5, 80)]
+_FULL_CONFIGS = [(10, 2, 22), (18, 3, 36), (28, 4, 52), (40, 5, 80)]
+_SMOKE_CONFIGS = [(10, 2, 22), (18, 3, 36)]
+_FULL_TRIALS = 4
+_SMOKE_TRIALS = 2
+
+_HEADERS = [
+    "instance", "tree nodes", "push-down moves", "|I|", "objective drift",
+    "invariant", "Claim 1 violations",
+]
 
 
 def _one(inst):
@@ -36,13 +49,13 @@ def _one(inst):
     return canon, tr, drift, ok_invariant, claim1
 
 
-@pytest.fixture(scope="module")
-def e7_table():
+def compute_table(configs=_FULL_CONFIGS, trials=_FULL_TRIALS, seed_shift=0):
     rows = []
-    for n, g, horizon in _CONFIGS:
-        for seed in range(4):
+    for n, g, horizon in configs:
+        for seed in range(trials):
             inst = random_laminar(
-                n, g, horizon=horizon, seed=500 + seed, unit_fraction=0.4
+                n, g, horizon=horizon, seed=500 + seed + seed_shift,
+                unit_fraction=0.4,
             )
             canon, tr, drift, ok, claim1 = _one(inst)
             rows.append(
@@ -59,17 +72,37 @@ def e7_table():
     return rows
 
 
+@register(
+    "E7",
+    title="Lemma 3.1 push-down transformation + Claim 1",
+    claim="Lemma 3.1 / Claim 1: the push-down transformation preserves "
+    "the objective and its topmost set satisfies (1a)–(1e)",
+)
+def run_bench(ctx):
+    configs = ctx.pick(_FULL_CONFIGS, _SMOKE_CONFIGS)
+    trials = ctx.pick(_FULL_TRIALS, _SMOKE_TRIALS)
+    rows = compute_table(configs, trials, ctx.seed_shift)
+    ctx.add_table(
+        "transform", _HEADERS, rows,
+        title="E7: Lemma 3.1 transformation + Claim 1 (Figure 1)",
+    )
+    max_drift = max(float(row[4]) for row in rows)
+    ctx.add_metric("max_objective_drift", max_drift)
+    ctx.add_metric("total_claim1_violations", sum(row[6] for row in rows))
+    ctx.add_metric("total_pushdown_moves", sum(row[2] for row in rows))
+    ctx.add_check("invariant_holds", all(row[5] is True for row in rows))
+    ctx.add_check("no_claim1_violations", all(row[6] == 0 for row in rows))
+    ctx.add_check("objective_preserved", max_drift < 1e-6)
+
+
+@pytest.fixture(scope="module")
+def e7_table():
+    return compute_table()
+
+
 def test_e7_transform_table(e7_table, benchmark):
     print_table(
-        [
-            "instance",
-            "tree nodes",
-            "push-down moves",
-            "|I|",
-            "objective drift",
-            "invariant",
-            "Claim 1 violations",
-        ],
+        _HEADERS,
         e7_table,
         title="E7: Lemma 3.1 transformation + Claim 1 (Figure 1)",
     )
@@ -79,3 +112,7 @@ def test_e7_transform_table(e7_table, benchmark):
         assert float(row[4]) < 1e-6
     inst = random_laminar(28, 4, horizon=52, seed=500, unit_fraction=0.4)
     run_once(benchmark, _one, inst)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

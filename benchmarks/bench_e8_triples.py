@@ -14,16 +14,21 @@ Reproduction in two parts:
 * **even-spread solutions** (hand-crafted optima on the umbrella family,
   see ``repro.instances.handcrafted``) — every group is type-C, ≈0.2·k of
   them stay C1, triples cover them, and the rounded vector is feasible.
+
+Standalone: ``python benchmarks/bench_e8_triples.py [--smoke]
+[--seed S] [--json OUT]``.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 
+import _bench_path  # noqa: F401
 import pytest
 
-from conftest import run_once
+from _bench_util import run_once
 from repro.analysis.tables import print_table
+from repro.benchkit import bench_main, register
 from repro.core.rounding import classify_topmost, round_solution
 from repro.core.transform import push_down
 from repro.core.triples import build_triples, lemma_4_11_case
@@ -33,7 +38,16 @@ from repro.instances.handcrafted import even_spread_solution, verify_lp_feasible
 from repro.lp.nested_lp import solve_nested_lp
 from repro.tree.canonical import canonicalize
 
-_PARAMS = [(2, 5), (2, 10), (3, 8), (3, 12), (4, 12), (5, 15), (2, 20)]
+_FULL_PARAMS = [(2, 5), (2, 10), (3, 8), (3, 12), (4, 12), (5, 15), (2, 20)]
+_SMOKE_PARAMS = [(2, 5), (3, 8), (2, 10)]
+_FULL_SUITE_SIZES = (8, 14, 20)
+_SMOKE_SUITE_SIZES = (8,)
+_SUITE_SEED = 88
+
+_HEADERS = [
+    "instance", "B", "C1", "C2", "triples", "uncovered C1", "case (a)",
+    "case (b)", "no case", "x̃ feasible",
+]
 
 
 def _crafted_row(g, k):
@@ -63,15 +77,13 @@ def _crafted_row(g, k):
     ]
 
 
-@pytest.fixture(scope="module")
-def e8_crafted():
-    return [_crafted_row(g, k) for g, k in _PARAMS]
+def compute_crafted(params=_FULL_PARAMS):
+    return [_crafted_row(g, k) for g, k in params]
 
 
-@pytest.fixture(scope="module")
-def e8_vertex_counts():
+def compute_vertex_counts(sizes=_FULL_SUITE_SIZES, seed=_SUITE_SEED):
     counts = Counter()
-    for inst in laminar_suite(seed=88, sizes=(8, 14, 20)):
+    for inst in laminar_suite(seed=seed, sizes=sizes):
         canon = canonicalize(inst)
         sol = solve_nested_lp(canon)
         tr = push_down(canon.forest, sol.x, sol.y)
@@ -82,20 +94,52 @@ def e8_vertex_counts():
     return counts
 
 
+@register(
+    "E8",
+    title="triple construction on even-spread umbrella optima",
+    claim="Lemmas 4.7–4.13 / Theorem 4.5: disjoint (C1,C2,C2) triples "
+    "cover every C1 node, each in a Lemma 4.11 case, and x̃ stays feasible",
+)
+def run_bench(ctx):
+    crafted = compute_crafted(ctx.pick(_FULL_PARAMS, _SMOKE_PARAMS))
+    vertex_counts = compute_vertex_counts(
+        ctx.pick(_FULL_SUITE_SIZES, _SMOKE_SUITE_SIZES),
+        seed=_SUITE_SEED + ctx.seed_shift,
+    )
+    ctx.add_table(
+        "crafted", _HEADERS, crafted,
+        title="E8: triples on even-spread umbrella solutions",
+    )
+    ctx.add_table(
+        "vertex_census",
+        ["type", "count"],
+        sorted(vertex_counts.items()),
+        title="vertex-solution type census over the random suite",
+    )
+    total_c1 = sum(row[2] for row in crafted)
+    ctx.add_metric("total_c1", total_c1)
+    ctx.add_metric("total_triples", sum(row[4] for row in crafted))
+    ctx.add_metric("vertex_c1", vertex_counts.get("C1", 0))
+    ctx.add_check("all_c1_covered", all(row[5] == 0 for row in crafted))
+    ctx.add_check("all_cases_classified", all(row[8] == 0 for row in crafted))
+    ctx.add_check("rounded_feasible", all(row[9] for row in crafted))
+    ctx.add_check("crafted_family_produces_c1", total_c1 >= 3)
+    ctx.add_check("vertex_optima_have_no_c1", vertex_counts.get("C1", 0) == 0)
+
+
+@pytest.fixture(scope="module")
+def e8_crafted():
+    return compute_crafted()
+
+
+@pytest.fixture(scope="module")
+def e8_vertex_counts():
+    return compute_vertex_counts()
+
+
 def test_e8_triples_table(e8_crafted, e8_vertex_counts, benchmark):
     print_table(
-        [
-            "instance",
-            "B",
-            "C1",
-            "C2",
-            "triples",
-            "uncovered C1",
-            "case (a)",
-            "case (b)",
-            "no case",
-            "x̃ feasible",
-        ],
+        _HEADERS,
         e8_crafted,
         title="E8: triples on even-spread umbrella solutions "
         "(Lemmas 4.9/4.11, Theorem 4.5)",
@@ -117,3 +161,7 @@ def test_e8_triples_table(e8_crafted, e8_vertex_counts, benchmark):
     assert total_c1 >= 5, "the crafted family should produce C1 nodes"
     assert e8_vertex_counts.get("C1", 0) == 0
     run_once(benchmark, _crafted_row, 3, 12)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

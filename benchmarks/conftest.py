@@ -8,12 +8,9 @@ pytest-benchmark for timing.
 
 from __future__ import annotations
 
+import _bench_path  # noqa: F401  (repo src/ -> sys.path, any-CWD runs)
 import pytest
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Benchmark an expensive callable with a single round."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+from _bench_util import run_once  # noqa: F401  (re-export for bench modules)
 
 
 @pytest.fixture(scope="session")

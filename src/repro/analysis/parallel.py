@@ -19,7 +19,8 @@ result dict under ``"solver_stats"``.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Sequence
+from importlib import import_module
+from typing import Any, Callable, Sequence
 
 from repro.instances.io import instance_from_dict, instance_to_dict
 from repro.instances.jobs import Instance
@@ -148,3 +149,46 @@ def run_battery(
     ]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(_worker, payloads, chunksize=chunksize))
+
+
+def resolve_worker(spec: str) -> Callable[[Any], Any]:
+    """Resolve a ``"package.module:function"`` worker reference."""
+    module_name, sep, fn_name = spec.partition(":")
+    if not sep or not module_name or not fn_name:
+        raise ValueError(
+            f"worker spec {spec!r} must look like 'package.module:function'"
+        )
+    fn = getattr(import_module(module_name), fn_name, None)
+    if not callable(fn):
+        raise ValueError(f"worker spec {spec!r} does not name a callable")
+    return fn
+
+
+def _dispatch(pair: tuple[str, Any]) -> Any:
+    spec, payload = pair
+    return resolve_worker(spec)(payload)
+
+
+def run_jobs(
+    worker: str,
+    payloads: Sequence[Any],
+    *,
+    max_workers: int | None = None,
+    chunksize: int = 1,
+) -> list[Any]:
+    """Map a picklable-payload worker over a process pool.
+
+    The generic sibling of :func:`run_battery` for work that is not an
+    instance battery (the benchmark harness fans out whole benchmarks
+    through it).  ``worker`` is a dotted reference resolved *inside*
+    each worker process, so nothing but plain data crosses the process
+    boundary and the pool works under both fork and spawn start
+    methods.  ``max_workers=1`` (or a single payload) short-circuits to
+    in-process execution with identical semantics.
+    """
+    fn = resolve_worker(worker)  # validate eagerly, fail before forking
+    if max_workers == 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads]
+    pairs = [(worker, p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_dispatch, pairs, chunksize=chunksize))

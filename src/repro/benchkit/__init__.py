@@ -1,0 +1,51 @@
+"""benchkit — benchmark orchestration and perf-regression gating.
+
+The harness behind ``python -m repro.benchkit``:
+
+* every ``benchmarks/bench_e*.py`` registers one entry point via
+  :func:`register` and shares the :class:`BenchResult` artifact schema;
+* :func:`~repro.benchkit.runner.run_benchmarks` discovers and executes
+  them (optionally in parallel) and writes ``BENCH_<ID>.json`` files;
+* :mod:`repro.benchkit.compare` diffs artifact directories against the
+  committed baselines in ``benchmarks/baselines/`` — quality metrics
+  with zero tolerance, timings with a percentage budget.
+
+See docs/PERFORMANCE.md ("Reading BENCH_*.json") and CONTRIBUTING.md
+(baseline refresh procedure).
+"""
+
+from repro.benchkit.registry import (
+    Benchmark,
+    BenchContext,
+    discover,
+    register,
+    registered,
+    resolve_ids,
+)
+from repro.benchkit.result import (
+    DEFAULT_SEED,
+    SCHEMA_VERSION,
+    TIERS,
+    BenchResult,
+    environment_fingerprint,
+    validate_result,
+)
+from repro.benchkit.runner import bench_main, execute, run_benchmarks
+
+__all__ = [
+    "Benchmark",
+    "BenchContext",
+    "BenchResult",
+    "DEFAULT_SEED",
+    "SCHEMA_VERSION",
+    "TIERS",
+    "bench_main",
+    "discover",
+    "environment_fingerprint",
+    "execute",
+    "register",
+    "registered",
+    "resolve_ids",
+    "run_benchmarks",
+    "validate_result",
+]

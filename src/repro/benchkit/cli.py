@@ -1,0 +1,165 @@
+"""``python -m repro.benchkit`` — run, list and compare benchmarks.
+
+Subcommands
+-----------
+``run``      execute benchmarks, write one ``BENCH_<ID>.json`` each
+``compare``  diff two artifact directories, gate quality + perf drift
+``list``     show the registry (id, title, claim)
+
+Examples::
+
+    python -m repro.benchkit run --tier smoke
+    python -m repro.benchkit run --only E1,E14 --jobs 4 --seed 7 --out out/
+    python -m repro.benchkit compare benchmarks/baselines bench_artifacts \
+        --tolerance-pct 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.benchkit.result import DEFAULT_SEED, TIERS
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.benchkit.runner import run_benchmarks
+
+    results = run_benchmarks(
+        args.only,
+        tier=args.tier,
+        seed=args.seed,
+        jobs=args.jobs,
+        out_dir=args.out,
+        benchmarks_dir=args.benchmarks_dir,
+    )
+    from repro.analysis.tables import render_table
+
+    rows = [
+        [
+            r.bench_id,
+            r.title[:44],
+            f"{r.timings.get('wall_s', 0.0):.2f}",
+            r.solver.get("solves", 0),
+            r.solver.get("cache_hits", 0),
+            len(r.metrics),
+            "ok" if r.passed else "FAIL",
+        ]
+        for r in results
+    ]
+    print(
+        render_table(
+            ["id", "benchmark", "wall [s]", "lp solves", "cache hits",
+             "metrics", "status"],
+            rows,
+            title=f"benchkit run — tier={args.tier} seed={args.seed} "
+            f"jobs={args.jobs}",
+        )
+    )
+    if args.out:
+        print(f"wrote {len(results)} artifact(s) to {args.out}")
+    failed = [r.bench_id for r in results if not r.passed]
+    if failed:
+        print(f"FAIL: checks failed in {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.benchkit.compare import (
+        compare_dirs,
+        has_failures,
+        render_findings,
+    )
+
+    findings = compare_dirs(
+        args.baseline,
+        args.current,
+        tolerance_pct=args.tolerance_pct,
+        skip_timings=args.skip_timings,
+        only=args.only,
+    )
+    print(render_findings(findings))
+    return 1 if has_failures(findings) else 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.benchkit.registry import discover
+
+    specs = discover(args.benchmarks_dir)
+    rows = [
+        [spec.bench_id, spec.title, spec.claim]
+        for spec in sorted(specs.values(), key=lambda s: s.number)
+    ]
+    print(render_table(["id", "title", "claim"], rows, title="benchmarks"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.benchkit",
+        description="benchmark harness: run E1-E14, emit BENCH_*.json, "
+        "gate regressions against committed baselines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute benchmarks, write artifacts")
+    run.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated benchmark ids, e.g. E1,E14 (default: all)",
+    )
+    run.add_argument(
+        "--tier", choices=TIERS, default="smoke",
+        help="smoke = CI-cheap configs, full = EXPERIMENTS.md tables",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="run benchmarks in parallel worker processes",
+    )
+    run.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    run.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory (default: print only, write nothing)",
+    )
+    run.add_argument(
+        "--benchmarks-dir", default=None,
+        help="override the benchmarks/ directory to discover",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    cmp_ = sub.add_parser(
+        "compare", help="diff two artifact directories, exit 1 on drift"
+    )
+    cmp_.add_argument("baseline", help="directory of baseline BENCH_*.json")
+    cmp_.add_argument("current", help="directory of fresh BENCH_*.json")
+    cmp_.add_argument(
+        "--tolerance-pct", type=float, default=20.0,
+        help="max allowed timing regression in percent (default 20); "
+        "quality metrics always have zero tolerance",
+    )
+    cmp_.add_argument(
+        "--skip-timings", action="store_true",
+        help="ignore timings entirely (cross-machine comparisons)",
+    )
+    cmp_.add_argument(
+        "--only", default=None,
+        help="restrict the comparison to these benchmark ids",
+    )
+    cmp_.set_defaults(func=_cmd_compare)
+
+    lst = sub.add_parser("list", help="show the benchmark registry")
+    lst.add_argument("--benchmarks-dir", default=None)
+    lst.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Benchmark registry and discovery.
+
+Each ``benchmarks/bench_e*.py`` registers exactly one entry point::
+
+    from repro.benchkit import register
+
+    @register("E1", title="9/5-approximation",
+              claim="Theorem 4.15: ALG <= (9/5) OPT")
+    def run_bench(ctx):
+        ctx.add_table(...); ctx.add_metric(...); ctx.add_check(...)
+
+:func:`discover` imports every ``bench_e*.py`` under the benchmarks
+directory (found relative to the repo checkout, or via the
+``REPRO_BENCHMARKS_DIR`` environment variable) so the registry is
+populated, then returns it keyed by benchmark id.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.benchkit.result import DEFAULT_SEED, BenchResult
+
+#: Environment override for the benchmarks directory (used by workers
+#: and by checkouts where `repro` is installed away from the repo).
+BENCH_DIR_ENV = "REPRO_BENCHMARKS_DIR"
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark: identity plus its entry point."""
+
+    bench_id: str
+    title: str
+    claim: str
+    fn: Callable[["BenchContext"], None]
+    module: str
+
+    @property
+    def number(self) -> int:
+        return int(self.bench_id[1:])
+
+
+@dataclass
+class BenchContext:
+    """What a benchmark body sees: tier/seed knobs + the result sink."""
+
+    result: BenchResult
+    tier: str = "full"
+    seed: int = DEFAULT_SEED
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def smoke(self) -> bool:
+        return self.tier == "smoke"
+
+    @property
+    def seed_shift(self) -> int:
+        """Offset vs the baseline seed — benchmarks add this to their
+        internal per-config seeds so ``--seed`` reshuffles everything
+        while the default reproduces the committed tables exactly."""
+        return self.seed - DEFAULT_SEED
+
+    def pick(self, full: Any, smoke: Any) -> Any:
+        """Tier-dependent configuration choice."""
+        return smoke if self.smoke else full
+
+    # Delegates, so benchmark bodies read naturally.
+    def add_table(self, *args: Any, **kwargs: Any) -> None:
+        self.result.add_table(*args, **kwargs)
+
+    def add_metric(self, name: str, value: Any) -> None:
+        self.result.add_metric(name, value)
+
+    def add_check(self, name: str, ok: Any) -> None:
+        self.result.add_check(name, ok)
+
+    def add_timing(self, name: str, seconds: float) -> None:
+        self.result.add_timing(name, seconds)
+
+
+_REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(
+    bench_id: str, *, title: str, claim: str = ""
+) -> Callable[[Callable[[BenchContext], None]], Callable]:
+    """Decorator: add a benchmark entry point to the registry.
+
+    Re-importing the same module (pytest + benchkit in one process, or
+    running a script as ``__main__``) replaces the entry silently; two
+    *different* modules claiming one id is an error.
+    """
+    if not (bench_id.startswith("E") and bench_id[1:].isdigit()):
+        raise ValueError(f"benchmark id {bench_id!r} must look like 'E7'")
+
+    def wrap(fn: Callable[[BenchContext], None]) -> Callable:
+        module = getattr(fn, "__module__", "?")
+        existing = _REGISTRY.get(bench_id)
+        if (
+            existing is not None
+            and existing.module != module
+            and "__main__" not in (existing.module, module)
+        ):
+            raise ValueError(
+                f"duplicate benchmark id {bench_id!r}: already registered "
+                f"by {existing.module}, re-registered by {module}"
+            )
+        spec = Benchmark(
+            bench_id=bench_id, title=title, claim=claim, fn=fn, module=module
+        )
+        _REGISTRY[bench_id] = spec
+        fn.bench_spec = spec  # type: ignore[attr-defined]
+        return fn
+
+    return wrap
+
+
+def registered() -> dict[str, Benchmark]:
+    """The registry as currently populated (no discovery side effects)."""
+    return dict(_REGISTRY)
+
+
+def default_benchmarks_dir() -> Path:
+    """The repo's ``benchmarks/`` directory.
+
+    Resolution order: ``REPRO_BENCHMARKS_DIR``, then the checkout layout
+    (``src/repro/benchkit`` → repo root), then ``./benchmarks``.
+    """
+    env = os.environ.get(BENCH_DIR_ENV)
+    if env:
+        return Path(env)
+    candidate = Path(__file__).resolve().parents[3] / "benchmarks"
+    if candidate.is_dir():
+        return candidate
+    return Path("benchmarks")
+
+
+def discover(benchmarks_dir: str | Path | None = None) -> dict[str, Benchmark]:
+    """Import every ``bench_e*.py`` so its ``@register`` runs."""
+    bench_dir = Path(benchmarks_dir or default_benchmarks_dir()).resolve()
+    if not bench_dir.is_dir():
+        raise FileNotFoundError(
+            f"benchmarks directory not found: {bench_dir} "
+            f"(set ${BENCH_DIR_ENV} to override)"
+        )
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    for path in sorted(bench_dir.glob("bench_e*.py")):
+        importlib.import_module(path.stem)
+    return registered()
+
+
+def resolve_ids(
+    only: str | Sequence[str] | None, available: dict[str, Benchmark]
+) -> list[str]:
+    """Normalize an ``--only`` selection against the registry.
+
+    Accepts ``"E1,E14"``, ``["e1", "E14"]`` or ``None`` (= everything);
+    returns ids sorted numerically; raises on unknown ids.
+    """
+    if only is None or only == "":
+        ids = list(available)
+    else:
+        if isinstance(only, str):
+            parts = [p for p in only.replace(";", ",").split(",") if p.strip()]
+        else:
+            parts = list(only)
+        ids = [p.strip().upper() for p in parts]
+        unknown = [i for i in ids if i not in available]
+        if unknown:
+            raise KeyError(
+                f"unknown benchmark ids {unknown}; "
+                f"available: {sorted(available)}"
+            )
+    return sorted(set(ids), key=lambda i: int(i[1:]))

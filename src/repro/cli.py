@@ -7,6 +7,7 @@ Subcommands
 ``evaluate``   compare all algorithms (and OPT when affordable)
 ``gap``        integrality gaps of the three relaxations on one instance
 ``inspect``    canonical window tree, lengths and OPT_i thresholds
+``bench``      benchmark harness passthrough (``repro.benchkit``)
 """
 
 from __future__ import annotations
@@ -151,6 +152,12 @@ def _cmd_gap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchkit.cli import main as benchkit_main
+
+    return benchkit_main(args.benchkit_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="active-time",
@@ -207,6 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     insp.add_argument("instance")
     insp.set_defaults(func=_cmd_inspect)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark harness: run/compare/list (python -m repro.benchkit)",
+    )
+    bench.add_argument(
+        "benchkit_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.benchkit "
+        "(e.g. `run --tier smoke --only E1,E14`)",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
