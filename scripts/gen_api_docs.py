@@ -12,7 +12,7 @@ PACKAGES = [
     "repro", "repro.instances", "repro.tree", "repro.flow", "repro.lp",
     "repro.solver", "repro.core", "repro.baselines", "repro.hardness",
     "repro.analysis", "repro.simulate", "repro.multiinterval", "repro.online",
-    "repro.busytime", "repro.util",
+    "repro.busytime", "repro.verify", "repro.util",
 ]
 
 

@@ -8,6 +8,7 @@ Subcommands
 ``gap``        integrality gaps of the three relaxations on one instance
 ``inspect``    canonical window tree, lengths and OPT_i thresholds
 ``bench``      benchmark harness passthrough (``repro.benchkit``)
+``fuzz``       differential fuzzing: random instances through the oracle
 """
 
 from __future__ import annotations
@@ -158,6 +159,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return benchkit_main(args.benchkit_args)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import (
+        FuzzConfig,
+        render_fuzz_result,
+        run_fuzz,
+        write_fuzz_report,
+    )
+
+    config = FuzzConfig(
+        n_instances=args.n_instances,
+        seed=args.seed,
+        family=args.family,
+        max_jobs=args.max_jobs,
+        exact_max_jobs=args.exact_max_jobs,
+        shrink=args.shrink,
+        backend=args.backend,
+    )
+    result = run_fuzz(config, out_dir=args.out, progress=print)
+    print(render_fuzz_result(result))
+    if args.report:
+        write_fuzz_report(result, args.report)
+        print(f"wrote {args.report}")
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="active-time",
@@ -226,6 +252,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. `run --tier smoke --only E1,E14`)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the pipeline against oracle properties",
+    )
+    fuzz.add_argument("--n-instances", type=int, default=100)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--family",
+        default="mixed",
+        choices=["laminar", "general", "tight", "mixed"],
+    )
+    fuzz.add_argument(
+        "--max-jobs", type=int, default=12, help="cap on jobs per instance"
+    )
+    fuzz.add_argument(
+        "--exact-max-jobs",
+        type=int,
+        default=8,
+        help="cross-check against branch-and-bound OPT up to this many jobs",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="minimize failing instances before reporting",
+    )
+    fuzz.add_argument(
+        "--backend",
+        default=None,
+        choices=["highs", "simplex"],
+        help="pin the LP backend (default: service fallback chain)",
+    )
+    fuzz.add_argument(
+        "--out",
+        default="tests/counterexamples",
+        help="directory for shrunk counterexample JSON files",
+    )
+    fuzz.add_argument("--report", help="write a JSON campaign report here")
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -135,7 +135,22 @@ def solve_nested(
             f"instance {instance.name!r} cannot be scheduled at all"
         )
     canonical = canonicalize(instance)
-    lp_sol = solve_nested_lp(canonical, backend=backend)
+    if instance.n == 0:
+        # Degenerate but legal: nothing to schedule, zero-variable LP.
+        # Short-circuit the solve (backends reject empty models) and run
+        # the rest of the pipeline on all-zero artifacts.
+        from repro.core.opt_thresholds import compute_thresholds
+
+        lp_sol = NestedLPSolution(
+            value=0.0,
+            x=np.zeros(canonical.forest.m),
+            y=np.zeros((canonical.forest.m, 0)),
+            thresholds=compute_thresholds(
+                canonical.forest, canonical.job_node, {}, instance.g
+            ),
+        )
+    else:
+        lp_sol = solve_nested_lp(canonical, backend=backend)
     transformed = push_down(canonical.forest, lp_sol.x, lp_sol.y)
     rounding = round_solution(
         canonical.forest, transformed.x, transformed.topmost

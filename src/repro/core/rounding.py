@@ -16,10 +16,39 @@ from math import ceil, floor
 import numpy as np
 
 from repro.tree.node import WindowForest
+from repro.util.errors import IntegralityError
 from repro.util.numeric import EPS, SUM_EPS
 
 #: The approximation factor of the paper.
 APPROX_FACTOR = 9.0 / 5.0
+
+
+def _floor_on_I(value: float) -> float:
+    """Initial value on the topmost set ``I``: ``⌊x(i)⌋`` (EPS-guarded)."""
+    return float(floor(value + EPS))
+
+
+def _integral_off_I(value: float, node: int) -> float:
+    """Initial value off ``I``: the value itself, asserted integral.
+
+    Nodes outside ``I`` are exactly integral under the Lemma 3.1
+    invariant (fully open below ``I``, zero above), so the only
+    legitimate deviation is float noise within ``EPS``.  An explicit
+    nearest-int (``⌊v + 1/2⌋``, *not* Python's half-to-even ``round``)
+    plus a loud integrality check replaces the historic ``round(v)``:
+    drift beyond ``EPS`` raises instead of silently changing ``x̃`` off
+    ``I``.
+    """
+    nearest = floor(value + 0.5)
+    if abs(value - nearest) > EPS:
+        raise IntegralityError(
+            f"node {node} off the topmost set carries non-integral "
+            f"x = {value!r} (|x - {nearest}| > EPS): the Lemma 3.1 "
+            "invariant is broken upstream of rounding",
+            node=node,
+            value=float(value),
+        )
+    return float(nearest)
 
 
 @dataclass
@@ -61,7 +90,7 @@ def round_solution(
     x_tilde = np.empty(m, dtype=float)
     tops = set(topmost)
     for i in range(m):
-        x_tilde[i] = floor(x[i] + EPS) if i in tops else round(x[i])
+        x_tilde[i] = _floor_on_I(x[i]) if i in tops else _integral_off_I(x[i], i)
 
     # Anc(I): every node with an I-node in its subtree (I-nodes included).
     anc_of_i: set[int] = set()
@@ -100,7 +129,11 @@ def classify_topmost(
 
     * type-B:   ``x(Des(i)) ∈ {1} ∪ [4/3, ∞)``
     * type-C:   ``x(Des(i)) ∈ (1, 4/3)``; split by the rounded subtree sum
-      ``x̃(Des(i))`` into C1 (= 1) and C2 (= 2).
+      ``x̃(Des(i))``: C1 has ``x̃(Des(i)) = 1``, C2 has ``x̃(Des(i)) = 2``
+      (Section 4.2 — these are the only two values Algorithm 1 can
+      produce on a type-C subtree).  Any other value means the rounding
+      ran on corrupted data, so it raises :class:`IntegralityError`
+      instead of guessing a side.
     """
     types: dict[int, str] = {}
     for i in topmost:
@@ -110,5 +143,16 @@ def classify_topmost(
             types[i] = "B"
         else:
             xt = float(x_tilde[des].sum())
-            types[i] = "C1" if xt < 1.5 else "C2"
+            if abs(xt - 1.0) <= SUM_EPS:
+                types[i] = "C1"
+            elif abs(xt - 2.0) <= SUM_EPS:
+                types[i] = "C2"
+            else:
+                raise IntegralityError(
+                    f"type-C node {i}: x̃(Des(i)) = {xt!r} but Section 4.2 "
+                    f"allows only 1 (C1) or 2 (C2) when x(Des(i)) = {xs!r} "
+                    "∈ (1, 4/3) — the rounded solution is off-spec",
+                    node=i,
+                    value=xt,
+                )
     return types

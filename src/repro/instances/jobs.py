@@ -156,7 +156,9 @@ class Instance:
         return all(j.processing == 1 for j in self.jobs)
 
     def slots(self) -> range:
-        """All candidate slots (those inside the horizon)."""
+        """All candidate slots (those inside the horizon; empty for 0 jobs)."""
+        if not self.jobs:
+            return range(0)
         return self.horizon.slots()
 
     # -- construction helpers -------------------------------------------
@@ -186,6 +188,11 @@ class Instance:
 
     def describe(self) -> str:
         """One-line human summary."""
+        if not self.jobs:
+            return (
+                f"Instance({self.name or 'unnamed'}: n=0, g={self.g}, "
+                "laminar, empty horizon, volume=0)"
+            )
         kind = "laminar" if self.is_laminar else "general"
         h = self.horizon
         return (

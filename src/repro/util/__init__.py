@@ -2,6 +2,7 @@
 
 from repro.util.errors import (
     InfeasibleInstanceError,
+    IntegralityError,
     InvalidInstanceError,
     NotLaminarError,
     ReproError,
@@ -21,6 +22,7 @@ __all__ = [
     "InfeasibleInstanceError",
     "NotLaminarError",
     "SolverError",
+    "IntegralityError",
     "Interval",
     "intervals_disjoint",
     "intervals_nested",

@@ -80,6 +80,38 @@ class SolverError(ReproError):
         self.causes = tuple(causes)
 
 
+class IntegralityError(SolverError):
+    """A value that must be integral (within ``EPS``) was not.
+
+    Raised by the rounding step when a node off the topmost set ``I``
+    carries a fractional value — the Lemma 3.1 invariant guarantees
+    integrality there, so a violation means float drift (or an upstream
+    bug) reached the combinatorial phase and must not be absorbed
+    silently.  Also raised by the Section 4.2 classification when a
+    type-C node's rounded subtree sum is neither 1 nor 2.
+
+    Attributes
+    ----------
+    node:
+        Index of the offending tree node, when known.
+    value:
+        The non-integral (or off-spec) value observed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: int | None = None,
+        value: float | None = None,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("kind", "numerical")
+        super().__init__(message, **kwargs)
+        self.node = node
+        self.value = value
+
+
 class BatteryTaskError(ReproError):
     """A ``run_battery`` worker task failed on a specific instance.
 

@@ -1,0 +1,66 @@
+"""Differential verification and fuzzing for the active-time pipeline.
+
+Three layers, consumed by tests, the ``active-time fuzz`` CLI, and CI:
+
+* :mod:`repro.verify.properties` — the paper's quantitative claims as
+  reusable property checks returning :class:`~repro.verify.properties.Violation`
+  lists;
+* :mod:`repro.verify.oracle` — runs the full pipeline on one instance and
+  applies every property, cross-checking against the exact baseline;
+* :mod:`repro.verify.fuzz` + :mod:`repro.verify.shrinker` — randomized
+  campaigns that minimize any failure to a committable counterexample.
+"""
+
+from repro.verify.fuzz import (
+    FAMILIES,
+    FuzzConfig,
+    FuzzFailure,
+    FuzzResult,
+    fuzz_report_dict,
+    render_fuzz_result,
+    run_fuzz,
+    sample_instance,
+    write_fuzz_report,
+)
+from repro.verify.oracle import OracleReport, verify_instance
+from repro.verify.properties import (
+    PROPERTY_NAMES,
+    Violation,
+    check_budget,
+    check_classification,
+    check_node_flow,
+    check_repairs,
+    check_rounding_reference,
+    check_sandwich,
+    check_schedule,
+    check_transform,
+    reference_round,
+)
+from repro.verify.shrinker import ShrinkResult, shrink_instance
+
+__all__ = [
+    "FAMILIES",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzResult",
+    "OracleReport",
+    "PROPERTY_NAMES",
+    "ShrinkResult",
+    "Violation",
+    "check_budget",
+    "check_classification",
+    "check_node_flow",
+    "check_repairs",
+    "check_rounding_reference",
+    "check_sandwich",
+    "check_schedule",
+    "check_transform",
+    "fuzz_report_dict",
+    "reference_round",
+    "render_fuzz_result",
+    "run_fuzz",
+    "sample_instance",
+    "shrink_instance",
+    "verify_instance",
+    "write_fuzz_report",
+]

@@ -1,0 +1,339 @@
+"""Randomized differential-testing campaigns over the scheduling pipeline.
+
+A *campaign* draws ``n_instances`` random instances from one of three
+families, runs the :mod:`repro.verify.oracle` on each, shrinks any failure
+to a minimal counterexample, and emits a benchkit-style JSON report plus
+one counterexample file per distinct failure (via :mod:`repro.instances.io`,
+so a failing instance can be committed under ``tests/counterexamples/`` and
+replayed forever).
+
+Families
+--------
+
+``laminar``
+    :func:`repro.instances.generators.random_laminar` with randomized
+    size/capacity/horizon/unit-fraction — the main paper pipeline.
+``general``
+    :func:`repro.instances.generators.random_general` (crossing windows),
+    exercising the baseline cross-checks.
+``tight``
+    The named parametric families of :mod:`repro.instances.families`
+    (gap instances, rigid chains, umbrella constructions) with random
+    small parameters, optionally perturbed by dropping a random job —
+    adversarial inputs sitting exactly on the paper's analytic boundaries.
+``mixed``
+    Round-robin over the three above (the default).
+
+Determinism: every instance's seed is derived from ``(campaign seed,
+index)``, so a campaign is reproducible and any single failing index can
+be regenerated in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.instances.jobs import Instance
+from repro.verify.oracle import (
+    DEFAULT_EXACT_MAX_JOBS,
+    OracleReport,
+    verify_instance,
+)
+from repro.verify.shrinker import shrink_instance
+
+#: Schema marker for fuzz reports (separate from BenchResult's schema —
+#: fuzz campaigns are not benchmarks and carry no ``bench_id``).
+FUZZ_SCHEMA_VERSION = 1
+
+FAMILIES = ("laminar", "general", "tight", "mixed")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Parameters of one fuzz campaign."""
+
+    n_instances: int = 100
+    seed: int = 0
+    family: str = "mixed"
+    max_jobs: int = 12
+    exact_max_jobs: int = DEFAULT_EXACT_MAX_JOBS
+    shrink: bool = True
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown family {self.family!r}; pick one of {FAMILIES}"
+            )
+        if self.n_instances < 1:
+            raise ValueError("n_instances must be >= 1")
+        if self.max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle violation, before and after shrinking."""
+
+    index: int
+    family: str
+    report: OracleReport
+    shrunk: Instance | None = None
+    shrink_evals: int = 0
+
+    @property
+    def minimal(self) -> Instance:
+        return self.shrunk if self.shrunk is not None else self.report.instance
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of :func:`run_fuzz`."""
+
+    config: FuzzConfig
+    checked: int = 0
+    skipped_infeasible: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    solver: dict[str, Any] = field(default_factory=dict)
+    counterexample_paths: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _sample_laminar(rng: random.Random, seed: int, max_jobs: int) -> Instance:
+    from repro.instances.generators import random_laminar
+
+    n = rng.randint(1, max_jobs)
+    return random_laminar(
+        n,
+        rng.randint(1, 4),
+        horizon=rng.randint(max(4, n), max(8, 3 * n)),
+        unit_fraction=rng.choice((0.0, 0.3, 0.7, 1.0)),
+        seed=seed,
+    )
+
+
+def _sample_general(rng: random.Random, seed: int, max_jobs: int) -> Instance:
+    from repro.instances.generators import random_general
+
+    n = rng.randint(1, max_jobs)
+    horizon = rng.randint(max(6, n), max(10, 3 * n))
+    return random_general(
+        n,
+        rng.randint(1, 4),
+        horizon=horizon,
+        p_max=rng.randint(1, min(5, horizon - 1)),
+        seed=seed,
+    )
+
+
+def _sample_tight(rng: random.Random, seed: int, max_jobs: int) -> Instance:
+    from repro.instances.families import ALL_FAMILIES
+
+    name = rng.choice(sorted(ALL_FAMILIES))
+    build = ALL_FAMILIES[name]
+    if name == "section5_gap":
+        inst = build(rng.randint(1, 4))
+    elif name == "natural_gap":
+        inst = build(rng.randint(1, 3), rng.randint(1, 3))
+    elif name == "rigid_chain":
+        inst = build(rng.randint(1, 6))
+    elif name == "batched_groups":
+        inst = build(rng.randint(1, 4), rng.randint(1, 3))
+    elif name == "greedy_trap":
+        inst = build(rng.randint(2, 4))
+    elif name == "two_level":
+        inst = build(rng.randint(1, 3), rng.randint(1, 4))
+    else:  # future families: try the one-int signature, fall back to laminar
+        try:
+            inst = build(rng.randint(1, 4))
+        except TypeError:
+            return _sample_laminar(rng, seed, max_jobs)
+    if inst.n > 1 and rng.random() < 0.25:
+        # Perturb off the analytic boundary: drop one random job.
+        jobs = list(inst.jobs)
+        jobs.pop(rng.randrange(len(jobs)))
+        inst = Instance(
+            jobs=tuple(jobs), g=inst.g, name=f"{inst.name}-dropped"
+        ).renumbered()
+    return inst
+
+
+_SAMPLERS: dict[str, Callable[[random.Random, int, int], Instance]] = {
+    "laminar": _sample_laminar,
+    "general": _sample_general,
+    "tight": _sample_tight,
+}
+
+
+def sample_instance(config: FuzzConfig, index: int) -> Instance:
+    """The ``index``-th instance of the campaign (pure function of config)."""
+    derived = (config.seed * 1_000_003 + index) & 0x7FFFFFFF
+    rng = random.Random(derived)
+    family = config.family
+    if family == "mixed":
+        family = FAMILIES[index % 3]
+    return _SAMPLERS[family](rng, derived, config.max_jobs)
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    *,
+    out_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+    verify: Callable[..., OracleReport] = verify_instance,
+) -> FuzzResult:
+    """Run one campaign; write counterexamples into ``out_dir`` if given.
+
+    ``verify`` is injectable so tests can wrap the oracle (e.g. fault
+    injection); production callers leave the default.
+    """
+    from repro.instances.io import dump_instance
+    from repro.solver.service import solver_stats
+    from repro.solver.stats import stats_delta
+
+    result = FuzzResult(config=config)
+    before = solver_stats()
+    t0 = time.perf_counter()
+    for index in range(config.n_instances):
+        instance = sample_instance(config, index)
+        family = (
+            config.family if config.family != "mixed" else FAMILIES[index % 3]
+        )
+        report = verify(
+            instance,
+            exact_max_jobs=config.exact_max_jobs,
+            backend=config.backend,
+        )
+        if report.status == "infeasible":
+            result.skipped_infeasible += 1
+            continue
+        result.checked += 1
+        if report.failed:
+            failure = FuzzFailure(index=index, family=family, report=report)
+            if config.shrink:
+                props = report.property_names()
+
+                def failing(candidate: Instance) -> bool:
+                    rep = verify(
+                        candidate,
+                        exact_max_jobs=config.exact_max_jobs,
+                        backend=config.backend,
+                    )
+                    return rep.failed and bool(
+                        set(props) & set(rep.property_names())
+                    )
+
+                shrunk = shrink_instance(instance, failing)
+                failure.shrunk = shrunk.instance
+                failure.shrink_evals = shrunk.evals
+            result.failures.append(failure)
+            if progress is not None:
+                progress(
+                    f"instance #{index} violates "
+                    f"{', '.join(report.property_names())} "
+                    f"(shrunk to n={failure.minimal.n})"
+                )
+    result.wall_time_s = time.perf_counter() - t0
+    result.solver = stats_delta(solver_stats(), before)
+
+    if out_dir is not None and result.failures:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for failure in result.failures:
+            props = "-".join(failure.report.property_names()) or "unknown"
+            path = out / (
+                f"cex_seed{config.seed}_idx{failure.index}_{props}.json"
+            )
+            dump_instance(failure.minimal, path)
+            result.counterexample_paths.append(str(path))
+    return result
+
+
+def fuzz_report_dict(result: FuzzResult) -> dict[str, Any]:
+    """JSON-compatible campaign report (benchkit-style provenance)."""
+    from repro.benchkit.result import environment_fingerprint
+
+    config = result.config
+    return {
+        "schema_version": FUZZ_SCHEMA_VERSION,
+        "kind": "fuzz-report",
+        "config": {
+            "n_instances": config.n_instances,
+            "seed": config.seed,
+            "family": config.family,
+            "max_jobs": config.max_jobs,
+            "exact_max_jobs": config.exact_max_jobs,
+            "shrink": config.shrink,
+            "backend": config.backend,
+        },
+        "checked": result.checked,
+        "skipped_infeasible": result.skipped_infeasible,
+        "n_failures": len(result.failures),
+        "ok": result.ok,
+        "failures": [
+            {
+                "index": f.index,
+                "family": f.family,
+                "properties": f.report.property_names(),
+                "violations": [
+                    {"prop": v.prop, "detail": v.detail}
+                    for v in f.report.violations
+                ],
+                "original_n": f.report.instance.n,
+                "shrunk_n": f.minimal.n,
+                "shrink_evals": f.shrink_evals,
+                "instance": _instance_dict(f.minimal),
+            }
+            for f in result.failures
+        ],
+        "counterexample_paths": result.counterexample_paths,
+        "wall_time_s": result.wall_time_s,
+        "solver": result.solver,
+        "environment": environment_fingerprint(),
+    }
+
+
+def _instance_dict(instance: Instance) -> dict[str, Any]:
+    from repro.instances.io import instance_to_dict
+
+    return instance_to_dict(instance)
+
+
+def write_fuzz_report(result: FuzzResult, path: str | Path) -> None:
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(fuzz_report_dict(result), indent=2))
+
+
+def render_fuzz_result(result: FuzzResult) -> str:
+    """Multi-line human summary for the CLI."""
+    config = result.config
+    lines = [
+        f"fuzz: family={config.family} n={config.n_instances} "
+        f"seed={config.seed} max_jobs={config.max_jobs}",
+        f"  checked {result.checked}, skipped {result.skipped_infeasible} "
+        f"infeasible, {len(result.failures)} violation(s) "
+        f"in {result.wall_time_s:.1f}s",
+    ]
+    for failure in result.failures:
+        lines.append(
+            f"  FAIL #{failure.index} [{failure.family}] "
+            f"{', '.join(failure.report.property_names())}: "
+            f"n={failure.report.instance.n} -> shrunk n={failure.minimal.n}"
+        )
+        for violation in failure.report.violations[:3]:
+            lines.append(f"    {violation.prop}: {violation.detail}")
+    if result.counterexample_paths:
+        lines.append("  counterexamples:")
+        lines.extend(f"    {p}" for p in result.counterexample_paths)
+    if result.ok:
+        lines.append("  all properties held")
+    return "\n".join(lines)

@@ -1,0 +1,313 @@
+"""Machine-checked invariants of the paper, as reusable properties.
+
+Every quantitative claim the reproduction makes is encoded here once and
+consumed twice: by the fuzzing oracle (:mod:`repro.verify.oracle`) on
+random instances, and by the seeded smoke sweep in ``tests/test_verify.py``.
+Each check returns a list of :class:`Violation` (empty means the property
+holds), so callers can aggregate findings instead of dying on the first
+``assert``.
+
+Checked properties (with their paper anchors):
+
+* ``schedule``   — the emitted :class:`Schedule` has no violations;
+* ``repairs``    — Section 4's feasibility proof means the defensive
+  repair loop never fires (``repairs == 0``);
+* ``budget``     — Lemma 3.3: ``x̃([m]) ≤ (9/5)·x([m])``;
+* ``transform``  — Lemma 3.1 / Claim 1: push-down invariant, topmost-set
+  structure, and conservation of open mass and per-job volume;
+* ``rounding``   — the production rounding matches an independent
+  reference implementation of Algorithm 1 (differential check);
+* ``classify``   — Section 4.2's B/C1/C2 typing partitions ``I``;
+* ``node-flow``  — the rounded vector passes the Lemma 4.1 flow test;
+* ``sandwich``   — ``LP ≤ OPT ≤ ALG ≤ (9/5)·LP`` (OPT from
+  :mod:`repro.baselines.exact` when affordable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, floor
+
+import numpy as np
+
+from repro.core.rounding import APPROX_FACTOR, RoundingResult
+from repro.core.transform import (
+    TransformedLP,
+    verify_claim1,
+    verify_pushdown_invariant,
+)
+from repro.tree.canonical import CanonicalInstance
+from repro.tree.node import WindowForest
+from repro.util.errors import IntegralityError
+from repro.util.numeric import EPS, SUM_EPS
+
+#: Names of all properties the oracle can report, for documentation/CLI.
+PROPERTY_NAMES = (
+    "schedule",
+    "repairs",
+    "budget",
+    "transform",
+    "rounding",
+    "classify",
+    "node-flow",
+    "sandwich",
+    "crash",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed property on one instance."""
+
+    prop: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.prop}] {self.detail}"
+
+
+# ---------------------------------------------------------------------------
+# Reference Algorithm 1 (differential target)
+# ---------------------------------------------------------------------------
+
+
+def reference_round(
+    forest: WindowForest, x: np.ndarray, topmost: list[int]
+) -> np.ndarray:
+    """Independent re-implementation of Algorithm 1, straight from the text.
+
+    Kept deliberately simple (dicts and explicit loops, no shared helpers
+    with :func:`repro.core.rounding.round_solution`) so an edit that
+    breaks the production rounding — e.g. re-introducing banker's
+    ``round()`` — shows up as a vector mismatch.  Tie-breaking (preorder
+    candidate choice, the same EPS/SUM_EPS tolerances) follows the spec so
+    healthy runs agree exactly.
+    """
+    tops = set(topmost)
+    x_tilde: dict[int, float] = {}
+    for i in range(forest.m):
+        if i in tops:
+            x_tilde[i] = float(floor(x[i] + EPS))
+        else:
+            nearest = floor(x[i] + 0.5)
+            if abs(float(x[i]) - nearest) > EPS:
+                raise IntegralityError(
+                    f"reference rounding: node {i} off I has non-integral "
+                    f"x = {float(x[i])!r}",
+                    node=i,
+                    value=float(x[i]),
+                )
+            x_tilde[i] = float(nearest)
+
+    anc_of_i: set[int] = set()
+    for i in topmost:
+        anc_of_i.update(forest.ancestors(i))
+    for i in forest.postorder:
+        if i not in anc_of_i:
+            continue
+        des = forest.descendants(i)
+        x_sum = sum(float(x[k]) for k in des)
+        while True:
+            tilde_sum = sum(x_tilde[k] for k in des)
+            if APPROX_FACTOR * x_sum < tilde_sum + 1.0 - SUM_EPS:
+                break
+            candidate = None
+            for k in des:  # preorder, matching production tie-breaking
+                if k in tops and x_tilde[k] < float(x[k]) - EPS:
+                    candidate = k
+                    break
+            if candidate is None:
+                break
+            x_tilde[candidate] = float(ceil(x[candidate] - EPS))
+    return np.array([x_tilde[i] for i in range(forest.m)], dtype=float)
+
+
+# ---------------------------------------------------------------------------
+# Individual property checks
+# ---------------------------------------------------------------------------
+
+
+def check_schedule(schedule) -> list[Violation]:
+    """The independent :class:`Schedule` validator finds nothing."""
+    return [Violation("schedule", p) for p in schedule.violations()]
+
+
+def check_repairs(repairs: int) -> list[Violation]:
+    """Section 4: the rounded vector is feasible without repair."""
+    if repairs != 0:
+        return [
+            Violation(
+                "repairs",
+                f"repair loop fired {repairs} time(s); Theorem 4.5 says the "
+                "rounded vector is already feasible",
+            )
+        ]
+    return []
+
+
+def check_budget(x: np.ndarray, x_tilde: np.ndarray) -> list[Violation]:
+    """Lemma 3.3: ``x̃([m]) ≤ (9/5)·x([m])``."""
+    total, budget = float(x_tilde.sum()), APPROX_FACTOR * float(x.sum())
+    if total > budget + SUM_EPS:
+        return [
+            Violation(
+                "budget",
+                f"x̃([m]) = {total} exceeds (9/5)·x([m]) = {budget}",
+            )
+        ]
+    return []
+
+
+def check_transform(
+    forest: WindowForest,
+    x_before: np.ndarray,
+    y_before: np.ndarray,
+    transformed: TransformedLP,
+) -> list[Violation]:
+    """Lemma 3.1 invariant, Claim 1 structure, and mass conservation."""
+    out: list[Violation] = []
+    if not verify_pushdown_invariant(forest, transformed.x):
+        out.append(
+            Violation(
+                "transform",
+                "push-down invariant violated: a positive node has an "
+                "unsaturated strict descendant",
+            )
+        )
+    for problem in verify_claim1(forest, transformed.x, transformed.topmost):
+        out.append(Violation("transform", f"Claim 1: {problem}"))
+    before, after = float(x_before.sum()), float(transformed.x.sum())
+    if abs(before - after) > SUM_EPS:
+        out.append(
+            Violation(
+                "transform",
+                f"open mass changed: x([m]) {before} -> {after}",
+            )
+        )
+    vol_before = np.asarray(y_before).sum(axis=0)
+    vol_after = np.asarray(transformed.y).sum(axis=0)
+    if vol_before.shape == vol_after.shape and vol_before.size:
+        drift = float(np.max(np.abs(vol_before - vol_after)))
+        if drift > SUM_EPS:
+            out.append(
+                Violation(
+                    "transform",
+                    f"per-job volume changed by up to {drift} during push-down",
+                )
+            )
+    return out
+
+
+def check_rounding_reference(
+    forest: WindowForest,
+    x: np.ndarray,
+    topmost: list[int],
+    rounding: RoundingResult,
+) -> list[Violation]:
+    """Differential check: production x̃ equals the reference Algorithm 1."""
+    try:
+        expected = reference_round(forest, x, topmost)
+    except IntegralityError as exc:
+        return [
+            Violation(
+                "rounding",
+                f"reference rounding rejected the transformed solution: {exc}",
+            )
+        ]
+    if not rounding.budget_ok:
+        return [Violation("rounding", "RoundingResult.budget_ok is False")]
+    diff = np.flatnonzero(np.abs(rounding.x_tilde - expected) > EPS)
+    if diff.size:
+        pairs = ", ".join(
+            f"node {i}: got {rounding.x_tilde[i]}, reference {expected[i]}"
+            for i in diff[:5]
+        )
+        return [
+            Violation(
+                "rounding",
+                f"x̃ diverges from reference Algorithm 1 at {diff.size} "
+                f"node(s): {pairs}",
+            )
+        ]
+    return []
+
+
+def check_classification(
+    forest: WindowForest,
+    x: np.ndarray,
+    x_tilde: np.ndarray,
+    topmost: list[int],
+) -> list[Violation]:
+    """Section 4.2: every topmost node types as B, C1 or C2."""
+    from repro.core.rounding import classify_topmost
+
+    try:
+        types = classify_topmost(forest, x, x_tilde, topmost)
+    except IntegralityError as exc:
+        return [Violation("classify", str(exc))]
+    out: list[Violation] = []
+    if set(types) != set(topmost):
+        out.append(
+            Violation(
+                "classify",
+                f"typing covers {sorted(types)} but I = {sorted(topmost)}",
+            )
+        )
+    bad = {i: t for i, t in types.items() if t not in ("B", "C1", "C2")}
+    if bad:
+        out.append(Violation("classify", f"unknown types: {bad}"))
+    return out
+
+
+def check_node_flow(
+    canonical: CanonicalInstance, x_tilde: np.ndarray
+) -> list[Violation]:
+    """Lemma 4.1: the rounded vector admits a node-level assignment."""
+    from repro.flow.feasibility import node_feasible
+
+    if not node_feasible(
+        canonical.instance,
+        canonical.forest,
+        canonical.job_node,
+        x_tilde.astype(int),
+    ):
+        return [
+            Violation(
+                "node-flow",
+                "rounded x̃ rejected by the Lemma 4.1 flow network",
+            )
+        ]
+    return []
+
+
+def check_sandwich(
+    lp_value: float, active_time: int, optimum: int | None
+) -> list[Violation]:
+    """``LP ≤ OPT ≤ ALG ≤ (9/5)·LP`` (OPT optional)."""
+    out: list[Violation] = []
+    if active_time > APPROX_FACTOR * lp_value + SUM_EPS:
+        out.append(
+            Violation(
+                "sandwich",
+                f"ALG = {active_time} exceeds (9/5)·LP = "
+                f"{APPROX_FACTOR * lp_value}",
+            )
+        )
+    if optimum is not None:
+        if lp_value > optimum + SUM_EPS:
+            out.append(
+                Violation(
+                    "sandwich",
+                    f"LP value {lp_value} exceeds OPT = {optimum}: the "
+                    "relaxation is not a lower bound",
+                )
+            )
+        if active_time < optimum:
+            out.append(
+                Violation(
+                    "sandwich",
+                    f"ALG = {active_time} beats OPT = {optimum}: one of the "
+                    "two solvers is wrong",
+                )
+            )
+    return out

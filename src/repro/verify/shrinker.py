@@ -1,0 +1,239 @@
+"""Counterexample minimization: shrink a failing instance to its core.
+
+Given an instance on which a predicate holds (``still_failing(inst)`` is
+True — typically "the oracle reports a violation"), the shrinker applies
+reduction passes until a fixpoint:
+
+1. **drop jobs** — ddmin-style: remove large chunks first, then single
+   jobs;
+2. **shrink processing** — halve each job's ``p`` toward 1, then step by 1;
+3. **shrink windows** — raise releases / lower deadlines while the window
+   still fits the processing time;
+4. **lower g** — halve toward 1, then step by 1;
+5. **normalize** — translate so the earliest release is 0 (cosmetic, makes
+   committed counterexamples canonical).
+
+Every candidate must construct a valid :class:`Instance` *and* keep the
+predicate true; anything else is discarded.  The predicate is evaluated at
+most ``max_evals`` times so a pathological predicate cannot hang a fuzz
+run.  Shrinking is deterministic: passes and candidates are tried in a
+fixed order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.instances.jobs import Instance, Job
+from repro.util.errors import InvalidInstanceError
+
+Predicate = Callable[[Instance], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    instance: Instance
+    evals: int
+    rounds: int
+
+    @property
+    def n_jobs(self) -> int:
+        return self.instance.n
+
+
+class _Budget:
+    def __init__(self, predicate: Predicate, max_evals: int) -> None:
+        self.predicate = predicate
+        self.max_evals = max_evals
+        self.evals = 0
+
+    def failing(self, instance: Instance) -> bool:
+        if self.evals >= self.max_evals:
+            return False
+        self.evals += 1
+        try:
+            return bool(self.predicate(instance))
+        except Exception:
+            # A predicate crash on a candidate is treated as "not a
+            # counterexample": the shrinker must only ever return
+            # instances the caller can reproduce cleanly.
+            return False
+
+
+def _with_jobs(instance: Instance, jobs: Sequence[Job]) -> Instance | None:
+    try:
+        return Instance(
+            jobs=tuple(jobs), g=instance.g, name=instance.name
+        ).renumbered()
+    except InvalidInstanceError:
+        return None
+
+
+def _drop_jobs(instance: Instance, budget: _Budget) -> Instance | None:
+    """ddmin over the job list: chunks of n/2, n/4, ..., then singles."""
+    jobs = list(instance.jobs)
+    chunk = max(1, len(jobs) // 2)
+    while chunk >= 1:
+        i = 0
+        progressed = False
+        while i < len(jobs) and len(jobs) > 1:
+            candidate_jobs = jobs[:i] + jobs[i + chunk :]
+            if not candidate_jobs:
+                i += chunk
+                continue
+            candidate = _with_jobs(instance, candidate_jobs)
+            if candidate is not None and budget.failing(candidate):
+                jobs = candidate_jobs
+                progressed = True
+            else:
+                i += chunk
+        if chunk == 1 and not progressed:
+            break
+        chunk = max(1, chunk // 2) if chunk > 1 else 0
+    if len(jobs) < instance.n:
+        return _with_jobs(instance, jobs)
+    return None
+
+
+def _shrink_field(
+    instance: Instance,
+    budget: _Budget,
+    mutate: Callable[[Job, int], Job | None],
+    steps: Callable[[Job], Sequence[int]],
+) -> Instance | None:
+    """Apply ``mutate(job, step)`` per job, largest steps first."""
+    current = instance
+    progressed = False
+    for pos in range(current.n):
+        for step in steps(current.jobs[pos]):
+            job = current.jobs[pos]
+            mutated = mutate(job, step)
+            if mutated is None:
+                continue
+            jobs = list(current.jobs)
+            jobs[pos] = mutated
+            candidate = _with_jobs(current, jobs)
+            if candidate is not None and budget.failing(candidate):
+                current = candidate
+                progressed = True
+    return current if progressed else None
+
+
+def _halving_steps(span: int) -> list[int]:
+    """Step sizes ``span//2, span//4, ..., 1`` (empty when span <= 0)."""
+    out: list[int] = []
+    step = span // 2
+    while step >= 1:
+        out.append(step)
+        step //= 2
+    if span >= 1 and (not out or out[-1] != 1):
+        out.append(1)
+    return out
+
+
+def _shrink_processing(instance: Instance, budget: _Budget) -> Instance | None:
+    def mutate(job: Job, step: int) -> Job | None:
+        if job.processing - step < 1:
+            return None
+        return replace(job, processing=job.processing - step)
+
+    return _shrink_field(
+        instance, budget, mutate, lambda j: _halving_steps(j.processing - 1)
+    )
+
+
+def _shrink_windows(instance: Instance, budget: _Budget) -> Instance | None:
+    def raise_release(job: Job, step: int) -> Job | None:
+        if job.deadline - (job.release + step) < job.processing:
+            return None
+        return job.with_window(job.release + step, job.deadline)
+
+    def lower_deadline(job: Job, step: int) -> Job | None:
+        if (job.deadline - step) - job.release < job.processing:
+            return None
+        return job.with_window(job.release, job.deadline - step)
+
+    steps = lambda j: _halving_steps(j.slack)  # noqa: E731
+    out = _shrink_field(instance, budget, lower_deadline, steps)
+    base = out or instance
+    out2 = _shrink_field(base, budget, raise_release, steps)
+    return out2 or out
+
+
+def _shrink_capacity(instance: Instance, budget: _Budget) -> Instance | None:
+    current = instance
+    progressed = False
+    for step in _halving_steps(instance.g - 1):
+        while current.g - step >= 1:
+            candidate = Instance(
+                jobs=current.jobs, g=current.g - step, name=current.name
+            )
+            if budget.failing(candidate):
+                current = candidate
+                progressed = True
+            else:
+                break
+    return current if progressed else None
+
+
+def _normalize(instance: Instance, budget: _Budget) -> Instance | None:
+    if not instance.jobs:
+        return None
+    offset = min(j.release for j in instance.jobs)
+    if offset == 0:
+        return None
+    jobs = [
+        j.with_window(j.release - offset, j.deadline - offset)
+        for j in instance.jobs
+    ]
+    candidate = _with_jobs(instance, jobs)
+    if candidate is not None and budget.failing(candidate):
+        return candidate
+    return None
+
+
+_PASSES = (
+    _drop_jobs,
+    _shrink_processing,
+    _shrink_windows,
+    _shrink_capacity,
+    _normalize,
+)
+
+
+def shrink_instance(
+    instance: Instance,
+    still_failing: Predicate,
+    *,
+    max_evals: int = 400,
+    max_rounds: int = 8,
+) -> ShrinkResult:
+    """Minimize ``instance`` while ``still_failing`` stays true.
+
+    The input itself must satisfy the predicate; the result is the
+    smallest instance reached before the passes fix-point (or the
+    evaluation budget runs out).
+    """
+    budget = _Budget(still_failing, max_evals)
+    current = instance
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        progressed = False
+        for pass_fn in _PASSES:
+            smaller = pass_fn(current, budget)
+            if smaller is not None:
+                current = smaller
+                progressed = True
+            if budget.evals >= max_evals:
+                break
+        if not progressed or budget.evals >= max_evals:
+            break
+    named = Instance(
+        jobs=current.jobs,
+        g=current.g,
+        name=f"shrunk({instance.name or 'unnamed'})",
+    )
+    return ShrinkResult(instance=named, evals=budget.evals, rounds=rounds)

@@ -1,0 +1,33 @@
+"""Replay committed counterexamples through the verification oracle.
+
+Every ``tests/counterexamples/*.json`` file is a shrunk instance that once
+violated a pipeline property (see the README in that directory).  Each one
+must now pass the full oracle — a failure here means a previously fixed
+bug has returned.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.instances.io import load_instance
+from repro.verify import verify_instance
+
+COUNTEREXAMPLE_DIR = Path(__file__).parent / "counterexamples"
+CASES = sorted(COUNTEREXAMPLE_DIR.glob("*.json"))
+
+
+@pytest.mark.parametrize(
+    "path", CASES, ids=[p.stem for p in CASES]
+)
+def test_counterexample_stays_fixed(path):
+    instance = load_instance(path)
+    report = verify_instance(instance)
+    assert report.ok, (
+        f"{path.name} regressed: "
+        + "; ".join(str(v) for v in report.violations)
+    )
+
+
+def test_directory_exists_with_readme():
+    assert (COUNTEREXAMPLE_DIR / "README.md").is_file()

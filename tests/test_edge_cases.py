@@ -64,6 +64,61 @@ class TestDegenerateInstances:
         assert result.active_time == 2
 
 
+class TestEmptyAndDegenerate:
+    """0 jobs, one unit job, and g exceeding total volume stay sane."""
+
+    def test_empty_instance_full_pipeline(self):
+        inst = Instance(jobs=(), g=3)
+        result = solve_nested(inst)
+        assert result.active_time == 0
+        assert result.lp_value == 0.0
+        assert result.repairs == 0
+        assert result.schedule.violations() == []
+        assert result.schedule.utilization() == 0.0
+
+    def test_empty_instance_shape(self):
+        inst = Instance(jobs=(), g=1)
+        assert inst.n == 0
+        assert inst.is_laminar
+        assert inst.total_volume == 0
+        assert list(inst.slots()) == []
+        assert "n=0" in inst.describe()
+
+    def test_empty_instance_exact(self):
+        assert solve_exact(Instance(jobs=(), g=2)).optimum == 0
+
+    def test_empty_transform_and_rounding(self):
+        from repro.tree.node import WindowForest
+
+        forest = WindowForest([])
+        tr = push_down(forest, np.zeros(0), np.zeros((0, 0)))
+        assert tr.topmost == []
+        rr = round_solution(forest, tr.x, tr.topmost)
+        assert rr.total == 0
+        assert rr.budget_ok
+
+    def test_single_unit_job_utilization(self):
+        inst = Instance.from_triples([(0, 1, 1)], g=4)
+        sched = solve_nested(inst).schedule
+        assert sched.active_time == 1
+        assert sched.utilization() == pytest.approx(1 / 4)
+
+    def test_capacity_exceeds_total_volume(self):
+        # g = 50 dwarfs the volume 4: one batch per distinct rigid block.
+        inst = Instance.from_triples([(0, 2, 2), (0, 2, 1), (0, 2, 1)], g=50)
+        result = solve_nested(inst)
+        assert result.active_time == 2
+        assert result.repairs == 0
+        assert result.schedule.violations() == []
+
+    def test_empty_instance_oracle(self):
+        from repro.verify import verify_instance
+
+        report = verify_instance(Instance(jobs=(), g=2))
+        assert report.status == "ok"
+        assert report.violations == []
+
+
 class TestPipelineDegenerates:
     def test_push_down_zero_solution(self):
         inst = Instance.from_triples([(0, 2, 1)], g=1)
