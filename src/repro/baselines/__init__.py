@@ -4,6 +4,7 @@ from repro.baselines.exact import (
     BudgetExceeded,
     ExactResult,
     brute_force_optimum,
+    class_prober,
     slot_classes,
     solve_exact,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "solve_exact",
     "brute_force_optimum",
     "slot_classes",
+    "class_prober",
     "ExactResult",
     "BudgetExceeded",
     "volume_bound",

@@ -23,8 +23,8 @@ from math import ceil
 
 from repro.baselines.minimal_feasible import minimal_feasible_slots
 from repro.core.schedule import Schedule
-from repro.flow.dinic import MaxFlow
 from repro.flow.feasibility import extract_schedule
+from repro.flow.incremental import make_prober, reference_probe
 from repro.instances.jobs import Instance
 from repro.util.errors import InfeasibleInstanceError, SolverError
 
@@ -58,29 +58,116 @@ def slot_classes(instance: Instance) -> list[SlotClass]:
     return classes
 
 
+def _class_buckets(
+    instance: Instance, classes: list[SlotClass]
+) -> list[list[int]]:
+    """Per-class job-index lists for the three-layer flow network."""
+    pos = {j.id: k for k, j in enumerate(instance.jobs)}
+    return [[pos[jid] for jid in cls.jobs] for cls in classes]
+
+
+def class_prober(
+    instance: Instance,
+    classes: list[SlotClass],
+    *,
+    backend: str | None = None,
+):
+    """A warm-started feasibility prober over the slot-class network.
+
+    Returns an object with ``probe(counts) -> bool`` — the incremental
+    replacement for calling :func:`_class_flow_feasible` in a loop (see
+    :mod:`repro.flow.incremental` for backends and the repair invariant).
+    """
+    return make_prober(
+        [job.processing for job in instance.jobs],
+        _class_buckets(instance, classes),
+        instance.g,
+        backend=backend,
+    )
+
+
 def _class_flow_feasible(
     instance: Instance, classes: list[SlotClass], counts: list[int]
 ) -> bool:
-    """Lemma 4.1-style aggregated feasibility for per-class counts."""
-    n_jobs = instance.n
-    pos = {j.id: k for k, j in enumerate(instance.jobs)}
-    source = n_jobs + len(classes)
-    sink = source + 1
-    net = MaxFlow(sink + 1)
-    for k, job in enumerate(instance.jobs):
-        net.add_edge(source, k, job.processing)
-    for ci, cls in enumerate(classes):
-        if counts[ci] <= 0:
-            continue
-        node = n_jobs + ci
-        for jid in cls.jobs:
-            net.add_edge(pos[jid], node, counts[ci])
-        net.add_edge(node, sink, instance.g * counts[ci])
-    return net.max_flow(source, sink) == instance.total_volume
+    """Lemma 4.1-style aggregated feasibility for per-class counts.
+
+    From-scratch reference path: builds a fresh network per call.  The
+    hot consumers hold a :func:`class_prober` instead; this stays as the
+    pinnable reference the incremental engine is verified against.
+    """
+    return reference_probe(
+        [job.processing for job in instance.jobs],
+        _class_buckets(instance, classes),
+        instance.g,
+        counts,
+    )
 
 
 class BudgetExceeded(SolverError):
-    """The branch-and-bound node budget ran out before proving optimality."""
+    """The branch-and-bound node budget ran out before proving optimality.
+
+    The search seeds its incumbent from the greedy 3-approximation, so
+    even a budget-killed run has a feasible solution in hand; it is
+    attached here so callers can degrade to the best-known answer
+    instead of discarding all search progress.
+
+    Attributes
+    ----------
+    best_cost / best_slots:
+        The incumbent at the moment the budget ran out — a feasible
+        (not necessarily optimal) solution; ``best_cost`` upper-bounds
+        the true optimum.
+    nodes_explored:
+        Search nodes expanded before the budget tripped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        best_cost: int | None = None,
+        best_slots: tuple[int, ...] = (),
+        nodes_explored: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(message, **kwargs)
+        self.best_cost = best_cost
+        self.best_slots = tuple(best_slots)
+        self.nodes_explored = nodes_explored
+
+    def __reduce__(self):
+        return (
+            _rebuild_budget_exceeded,
+            (str(self), self.best_cost, self.best_slots, self.nodes_explored),
+        )
+
+    def incumbent(self) -> "ExactResult | None":
+        """The best-known solution as an :class:`ExactResult`, if any.
+
+        ``optimum`` is an *upper bound* here, not a proven optimum.
+        """
+        if self.best_cost is None:
+            return None
+        return ExactResult(
+            optimum=self.best_cost,
+            slots=self.best_slots,
+            nodes_explored=self.nodes_explored,
+        )
+
+
+def _rebuild_budget_exceeded(
+    message: str,
+    best_cost: int | None,
+    best_slots: tuple[int, ...],
+    nodes_explored: int,
+) -> "BudgetExceeded":
+    """Unpickle helper: keep the incumbent across process boundaries."""
+    return BudgetExceeded(
+        message,
+        best_cost=best_cost,
+        best_slots=best_slots,
+        nodes_explored=nodes_explored,
+    )
 
 
 @dataclass(frozen=True)
@@ -117,6 +204,10 @@ def solve_exact(
     greedy = minimal_feasible_slots(instance, order="right_to_left")
     best_cost = len(greedy)
     best_slots = tuple(greedy)
+    # One warm-started network answers every probe of the search: the
+    # optimistic check changes by one class per DFS level, so repairing
+    # the previous flow beats rebuilding from scratch at every node.
+    prober = class_prober(instance, classes)
     ubs = [c.size for c in classes]
     # Strongest cheap lower bound (volume, longest job, interval ceiling)
     # both prunes the search and lets optimal incumbents exit early.
@@ -133,12 +224,15 @@ def solve_exact(
         if explored > node_budget:
             raise BudgetExceeded(
                 f"exact search exceeded {node_budget} nodes on "
-                f"{instance.name!r}"
+                f"{instance.name!r} (incumbent: {best_cost} slots)",
+                best_cost=best_cost,
+                best_slots=best_slots,
+                nodes_explored=explored,
             )
         if cost >= best_cost:
             return
         if idx == len(classes):
-            if _class_flow_feasible(instance, classes, counts):
+            if prober.probe(counts):
                 best_cost = cost
                 best_slots = tuple(
                     t
@@ -148,7 +242,7 @@ def solve_exact(
             return
         # Optimistic check: max out idx.. and test feasibility once.
         optimistic = counts[:idx] + ubs[idx:]
-        if not _class_flow_feasible(instance, classes, optimistic):
+        if not prober.probe(optimistic):
             return
         remaining_ub = sum(ubs[idx + 1 :])
         for c in range(ubs[idx] + 1):

@@ -68,8 +68,11 @@ def minimal_feasible_slots(
     identical covering-window sets are interchangeable), which shrinks
     each max-flow from ``T`` slot nodes to the handful of distinct
     classes — roughly a 10x speedup on the profile (see DESIGN.md §3).
+    Probes go through one warm-started network per call (see
+    :mod:`repro.flow.incremental`): removing a slot repairs at most
+    ``g`` flow units instead of re-pushing the full volume.
     """
-    from repro.baselines.exact import _class_flow_feasible, slot_classes
+    from repro.baselines.exact import class_prober, slot_classes
 
     active = set(initial if initial is not None else covered_slots(instance))
     classes = slot_classes(instance)
@@ -83,14 +86,15 @@ def minimal_feasible_slots(
     # Slots outside every window contribute nothing; drop them up front.
     active &= set(class_of)
 
-    if not _class_flow_feasible(instance, classes, counts):
+    prober = class_prober(instance, classes)
+    if not prober.probe(counts):
         raise InfeasibleInstanceError(
             f"instance {instance.name!r} infeasible on the initial slot set"
         )
     for t in _ordered(instance, sorted(active), order):
         ci = class_of[t]
         counts[ci] -= 1
-        if _class_flow_feasible(instance, classes, counts):
+        if prober.probe(counts):
             active.discard(t)
         else:
             counts[ci] += 1

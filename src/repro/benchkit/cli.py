@@ -24,14 +24,15 @@ from repro.benchkit.result import DEFAULT_SEED, TIERS
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.benchkit.runner import run_benchmarks
+    from repro.benchkit.runner import default_out_dir, run_benchmarks
 
+    out_dir = None if args.no_write else (args.out or default_out_dir())
     results = run_benchmarks(
         args.only,
         tier=args.tier,
         seed=args.seed,
         jobs=args.jobs,
-        out_dir=args.out,
+        out_dir=out_dir,
         benchmarks_dir=args.benchmarks_dir,
     )
     from repro.analysis.tables import render_table
@@ -57,8 +58,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"jobs={args.jobs}",
         )
     )
-    if args.out:
-        print(f"wrote {len(results)} artifact(s) to {args.out}")
+    if out_dir is not None:
+        print(f"wrote {len(results)} artifact(s) to {out_dir}")
     failed = [r.bench_id for r in results if not r.passed]
     if failed:
         print(f"FAIL: checks failed in {', '.join(failed)}", file=sys.stderr)
@@ -122,7 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=DEFAULT_SEED)
     run.add_argument(
         "--out", default=None, metavar="DIR",
-        help="artifact directory (default: print only, write nothing)",
+        help="artifact directory (default: the repo root, so the tracked "
+        "BENCH_<ID>.json trajectory is refreshed by every run)",
+    )
+    run.add_argument(
+        "--no-write", action="store_true",
+        help="print the summary table only; write no artifacts",
     )
     run.add_argument(
         "--benchmarks-dir", default=None,

@@ -36,8 +36,19 @@ from repro.benchkit.result import (
     environment_fingerprint,
 )
 
-#: Default artifact directory for `repro.benchkit run` (gitignored).
-DEFAULT_OUT_DIR = "bench_artifacts"
+def default_out_dir() -> Path:
+    """Default artifact directory for ``repro.benchkit run``: the repo root.
+
+    ``BENCH_<EID>.json`` files at the checkout root are the benchmark
+    trajectory the project tracks across PRs, so a plain ``run`` must
+    land them there; CI and ad-hoc sweeps override with ``--out``.
+    """
+    from repro.benchkit.registry import default_benchmarks_dir
+
+    bench_dir = default_benchmarks_dir()
+    if bench_dir.is_dir():
+        return bench_dir.resolve().parent
+    return Path(".")
 
 _WORKER = "repro.benchkit.runner:_worker_run"
 

@@ -60,7 +60,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     elif args.algorithm == "kk":
         schedule = kumar_khuller_schedule(instance)
     elif args.algorithm == "exact":
-        schedule = solve_exact(instance).schedule(instance)
+        try:
+            schedule = solve_exact(
+                instance, node_budget=args.node_budget
+            ).schedule(instance)
+        except BudgetExceeded as exc:
+            # Degrade to the search's incumbent (seeded from the greedy
+            # 3-approximation) instead of discarding all progress.
+            incumbent = exc.incumbent()
+            if incumbent is None:
+                raise
+            print(
+                f"warning: {exc} — emitting the incumbent "
+                f"({incumbent.optimum} slots, optimality unproven)",
+                file=sys.stderr,
+            )
+            schedule = incumbent.schedule(instance)
     elif args.algorithm == "lazy-online":
         schedule = run_online(instance, LazyActivation()).schedule
     elif args.algorithm == "eager-online":
@@ -175,6 +190,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         exact_max_jobs=args.exact_max_jobs,
         shrink=args.shrink,
         backend=args.backend,
+        flow_backend=args.flow_backend,
     )
     result = run_fuzz(config, out_dir=args.out, progress=print)
     print(render_fuzz_result(result))
@@ -193,7 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print solver service counters (solves, cache hits, backends) "
-        "after the command",
+        "and flow engine counters (networks, probes, repairs) after the "
+        "command",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -224,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--output", help="write the schedule JSON here")
     solve.add_argument(
         "--show", action="store_true", help="print an ASCII Gantt chart"
+    )
+    solve.add_argument(
+        "--node-budget",
+        type=int,
+        default=2_000_000,
+        help="search-node cap for --algorithm exact; past it the best "
+        "incumbent is emitted with a warning instead of failing",
     )
     solve.set_defaults(func=_cmd_solve)
 
@@ -286,6 +310,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin the LP backend (default: service fallback chain)",
     )
     fuzz.add_argument(
+        "--flow-backend",
+        default=None,
+        choices=["incremental", "reference", "differential"],
+        help="pin the flow probe backend; 'differential' cross-checks the "
+        "incremental engine against the from-scratch path on every probe",
+    )
+    fuzz.add_argument(
         "--out",
         default="tests/counterexamples",
         help="directory for shrunk counterexample JSON files",
@@ -299,9 +330,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     code = args.func(args)
     if args.stats:
+        from repro.flow.incremental import flow_stats, render_flow_stats
         from repro.solver import render_solver_stats, solver_stats
 
         print(render_solver_stats(solver_stats()))
+        print(render_flow_stats(flow_stats()))
     return code
 
 

@@ -7,7 +7,23 @@ from repro.flow.feasibility import (
     extract_schedule,
     node_assignment,
     node_feasible,
+    node_prober,
     slot_feasible,
+)
+from repro.flow.incremental import (
+    FLOW_BACKENDS,
+    ClassFlowProber,
+    DifferentialFlowProber,
+    FlowMismatchError,
+    IncrementalFlow,
+    ReferenceFlowProber,
+    flow_stats,
+    flow_stats_delta,
+    get_flow_backend,
+    make_prober,
+    render_flow_stats,
+    reset_flow_stats,
+    set_flow_backend,
 )
 
 __all__ = [
@@ -17,6 +33,20 @@ __all__ = [
     "all_slots_feasible",
     "node_feasible",
     "node_assignment",
+    "node_prober",
     "spread_units",
     "schedule_from_node_counts",
+    "IncrementalFlow",
+    "ClassFlowProber",
+    "ReferenceFlowProber",
+    "DifferentialFlowProber",
+    "FlowMismatchError",
+    "FLOW_BACKENDS",
+    "make_prober",
+    "get_flow_backend",
+    "set_flow_backend",
+    "flow_stats",
+    "flow_stats_delta",
+    "reset_flow_stats",
+    "render_flow_stats",
 ]

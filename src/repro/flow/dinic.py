@@ -16,8 +16,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
-INF = float("inf")
-
 
 class MaxFlow:
     """A max-flow network over nodes ``0..n-1``.
@@ -25,6 +23,13 @@ class MaxFlow:
     Edges are added with :meth:`add_edge`; reverse edges are created
     automatically with zero capacity.  After :meth:`max_flow`, per-edge
     flow is available through :meth:`edge_flow` / :meth:`flows`.
+
+    :meth:`max_flow` is a one-shot, from-scratch solve: calling it a
+    second time without :meth:`reset` is an error (it would return only
+    the residual increment, a classic silent-misuse bug).  Callers that
+    *want* warm-started re-augmentation — the incremental engine in
+    :mod:`repro.flow.incremental` — use :meth:`augment`, which is
+    explicitly documented to return the increment.
     """
 
     def __init__(self, n: int) -> None:
@@ -35,6 +40,8 @@ class MaxFlow:
         self.to: list[int] = []
         self.cap: list[float] = []
         self._initial_cap: list[float] = []
+        self._solved = False
+        self.augment_paths = 0  # lifetime count of augmenting paths pushed
 
     def add_edge(self, u: int, v: int, capacity: float) -> int:
         """Add a directed edge; returns its id (even; reverse id is id+1)."""
@@ -54,6 +61,7 @@ class MaxFlow:
     def reset(self) -> None:
         """Restore all capacities (undo any previously computed flow)."""
         self.cap = list(self._initial_cap)
+        self._solved = False
 
     def _bfs(self, s: int, t: int, level: list[int]) -> bool:
         for i in range(self.n):
@@ -102,9 +110,35 @@ class MaxFlow:
             it[u] += 1
 
     def max_flow(self, s: int, t: int) -> float:
-        """Compute the maximum ``s``-``t`` flow value."""
+        """Compute the maximum ``s``-``t`` flow value (from-scratch, once).
+
+        Raises
+        ------
+        RuntimeError
+            If called again without an intervening :meth:`reset` — the
+            second call would silently return only the residual
+            increment, not the flow value.  Use :meth:`augment` when
+            warm-started re-augmentation is actually intended.
+        """
+        if self._solved:
+            raise RuntimeError(
+                "max_flow() already ran on this network; call reset() for "
+                "a fresh solve, or augment() if you want the warm-started "
+                "residual increment"
+            )
+        return self.augment(s, t)
+
+    def augment(self, s: int, t: int) -> float:
+        """Push flow on the *current* residual network to a maximum.
+
+        Returns the increment added by this call (0.0 when the flow is
+        already maximum).  This is the warm-start entry point used by
+        :class:`repro.flow.incremental.IncrementalFlow` after capacity
+        mutations; fresh one-shot solves should call :meth:`max_flow`.
+        """
         if s == t:
             raise ValueError("source equals sink")
+        self._solved = True
         total = 0.0
         level = [-1] * self.n
         while self._bfs(s, t, level):
@@ -114,12 +148,23 @@ class MaxFlow:
                 if pushed == 0:
                     break
                 total += pushed
+                self.augment_paths += 1
         return total
 
     # -- flow inspection ---------------------------------------------------
 
     def edge_flow(self, eid: int) -> float:
-        """Flow currently on edge ``eid`` (as returned by :meth:`add_edge`)."""
+        """Flow currently on edge ``eid`` (as returned by :meth:`add_edge`).
+
+        Only the even ids handed out by :meth:`add_edge` are valid: the
+        odd reverse ids would return negative garbage (their initial
+        capacity is 0), so they are rejected loudly.
+        """
+        if eid & 1:
+            raise ValueError(
+                f"edge id {eid} is a reverse edge; edge_flow() takes the "
+                f"even id returned by add_edge() (did you mean {eid ^ 1}?)"
+            )
         return self._initial_cap[eid] - self.cap[eid]
 
     def flows(self, edge_ids: Iterable[int]) -> list[float]:

@@ -113,17 +113,48 @@ def _node_network(
     return net, edge_ids, source, sink
 
 
+def node_prober(
+    instance: Instance,
+    forest: WindowForest,
+    job_node: Mapping[int, int],
+    *,
+    backend: str | None = None,
+):
+    """Reusable Lemma 4.1 prober: build the node network once, probe many x̃.
+
+    Returns an object with ``probe(x) -> bool`` (see
+    :mod:`repro.flow.incremental`); repeated probes over the same
+    instance/forest warm-start from the previous flow instead of
+    rebuilding the network.
+    """
+    from repro.flow.incremental import make_prober
+
+    buckets: list[list[int]] = [[] for _ in range(forest.m)]
+    for k, job in enumerate(instance.jobs):
+        for i in forest.descendants(job_node[job.id]):
+            buckets[i].append(k)
+    return make_prober(
+        [job.processing for job in instance.jobs],
+        buckets,
+        instance.g,
+        backend=backend,
+    )
+
+
 def node_feasible(
     instance: Instance,
     forest: WindowForest,
     job_node: Mapping[int, int],
     x: Sequence[int],
 ) -> bool:
-    """Is the per-node open-slot vector ``x`` feasible (Lemma 4.1)?"""
+    """Is the per-node open-slot vector ``x`` feasible (Lemma 4.1)?
+
+    One-shot convenience over :func:`node_prober`; callers that test
+    many vectors on one forest should hold a prober instead.
+    """
     if instance.n == 0:
         return True
-    net, _, s, t = _node_network(instance, forest, job_node, x)
-    return net.max_flow(s, t) == instance.total_volume
+    return node_prober(instance, forest, job_node).probe(list(x))
 
 
 def node_assignment(

@@ -123,9 +123,16 @@ class LinearProgram:
             if c == 0.0:
                 continue
             try:
-                indexed[self._var_index[var]] = indexed.get(self._var_index[var], 0.0) + c
+                idx = self._var_index[var]
             except KeyError:
-                raise KeyError(f"unknown variable {var!r} in constraint {label!r}")
+                # `from None` keeps the traceback to one frame with a
+                # plain (not repr-quoted) message; the partially built
+                # `indexed` dict is discarded, so a failed call leaves
+                # the model unchanged.
+                raise ValueError(
+                    f"unknown variable {var!r} in constraint {label!r}"
+                ) from None
+            indexed[idx] = indexed.get(idx, 0.0) + c
         self._constraints.append(_Constraint(indexed, sense, float(rhs), label))
 
     # -- compilation --------------------------------------------------------

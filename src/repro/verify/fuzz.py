@@ -64,11 +64,26 @@ class FuzzConfig:
     exact_max_jobs: int = DEFAULT_EXACT_MAX_JOBS
     shrink: bool = True
     backend: str | None = None
+    #: Flow probe backend pinned for the campaign (``incremental`` /
+    #: ``reference`` / ``differential``); ``None`` keeps the process
+    #: default.  ``differential`` turns every greedy/exact probe into a
+    #: cross-check of the incremental engine against the from-scratch
+    #: path — any disagreement surfaces as a ``crash`` violation.
+    flow_backend: str | None = None
 
     def __post_init__(self) -> None:
+        from repro.flow.incremental import FLOW_BACKENDS
+
         if self.family not in FAMILIES:
             raise ValueError(
                 f"unknown family {self.family!r}; pick one of {FAMILIES}"
+            )
+        if self.flow_backend is not None and (
+            self.flow_backend not in FLOW_BACKENDS
+        ):
+            raise ValueError(
+                f"unknown flow backend {self.flow_backend!r}; "
+                f"pick one of {FLOW_BACKENDS}"
             )
         if self.n_instances < 1:
             raise ValueError("n_instances must be >= 1")
@@ -101,6 +116,7 @@ class FuzzResult:
     failures: list[FuzzFailure] = field(default_factory=list)
     wall_time_s: float = 0.0
     solver: dict[str, Any] = field(default_factory=dict)
+    flow: dict[str, Any] = field(default_factory=dict)
     counterexample_paths: list[str] = field(default_factory=list)
 
     @property
@@ -196,13 +212,53 @@ def run_fuzz(
     ``verify`` is injectable so tests can wrap the oracle (e.g. fault
     injection); production callers leave the default.
     """
+    from repro.flow.incremental import (
+        flow_stats,
+        flow_stats_delta,
+        set_flow_backend,
+    )
     from repro.instances.io import dump_instance
     from repro.solver.service import solver_stats
     from repro.solver.stats import stats_delta
 
     result = FuzzResult(config=config)
     before = solver_stats()
+    flow_before = flow_stats()
+    previous_flow_backend = (
+        set_flow_backend(config.flow_backend)
+        if config.flow_backend is not None
+        else None
+    )
     t0 = time.perf_counter()
+    try:
+        _run_campaign(config, result, verify, progress)
+    finally:
+        if config.flow_backend is not None:
+            set_flow_backend(previous_flow_backend)
+    result.wall_time_s = time.perf_counter() - t0
+    result.solver = stats_delta(solver_stats(), before)
+    result.flow = flow_stats_delta(flow_stats(), flow_before)
+
+    if out_dir is not None and result.failures:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for failure in result.failures:
+            props = "-".join(failure.report.property_names()) or "unknown"
+            path = out / (
+                f"cex_seed{config.seed}_idx{failure.index}_{props}.json"
+            )
+            dump_instance(failure.minimal, path)
+            result.counterexample_paths.append(str(path))
+    return result
+
+
+def _run_campaign(
+    config: FuzzConfig,
+    result: FuzzResult,
+    verify: Callable[..., OracleReport],
+    progress: Callable[[str], None] | None,
+) -> None:
+    """The campaign loop proper (backend pinning handled by the caller)."""
     for index in range(config.n_instances):
         instance = sample_instance(config, index)
         family = (
@@ -242,20 +298,6 @@ def run_fuzz(
                     f"{', '.join(report.property_names())} "
                     f"(shrunk to n={failure.minimal.n})"
                 )
-    result.wall_time_s = time.perf_counter() - t0
-    result.solver = stats_delta(solver_stats(), before)
-
-    if out_dir is not None and result.failures:
-        out = Path(out_dir)
-        out.mkdir(parents=True, exist_ok=True)
-        for failure in result.failures:
-            props = "-".join(failure.report.property_names()) or "unknown"
-            path = out / (
-                f"cex_seed{config.seed}_idx{failure.index}_{props}.json"
-            )
-            dump_instance(failure.minimal, path)
-            result.counterexample_paths.append(str(path))
-    return result
 
 
 def fuzz_report_dict(result: FuzzResult) -> dict[str, Any]:
@@ -274,6 +316,7 @@ def fuzz_report_dict(result: FuzzResult) -> dict[str, Any]:
             "exact_max_jobs": config.exact_max_jobs,
             "shrink": config.shrink,
             "backend": config.backend,
+            "flow_backend": config.flow_backend,
         },
         "checked": result.checked,
         "skipped_infeasible": result.skipped_infeasible,
@@ -298,6 +341,7 @@ def fuzz_report_dict(result: FuzzResult) -> dict[str, Any]:
         "counterexample_paths": result.counterexample_paths,
         "wall_time_s": result.wall_time_s,
         "solver": result.solver,
+        "flow": result.flow,
         "environment": environment_fingerprint(),
     }
 

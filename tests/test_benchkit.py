@@ -39,14 +39,14 @@ from repro.benchkit.registry import default_benchmarks_dir
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-EXPECTED_IDS = [f"E{i}" for i in range(1, 15)]
+EXPECTED_IDS = [f"E{i}" for i in range(1, 16)]
 
 
 # ---------------------------------------------------------------- registry
 
 
 class TestRegistry:
-    def test_discovers_exactly_e1_to_e14(self):
+    def test_discovers_exactly_e1_to_e15(self):
         specs = discover()
         assert sorted(specs, key=lambda i: int(i[1:])) == EXPECTED_IDS
         for spec in specs.values():
@@ -83,6 +83,18 @@ class TestRegistry:
 
     def test_default_benchmarks_dir_is_the_checkout(self):
         assert default_benchmarks_dir() == REPO_ROOT / "benchmarks"
+
+    def test_default_out_dir_is_the_repo_root(self, monkeypatch, tmp_path):
+        from repro.benchkit.registry import BENCH_DIR_ENV
+        from repro.benchkit.runner import default_out_dir
+
+        assert default_out_dir() == REPO_ROOT.resolve()
+        # The artifact directory tracks the benchmarks directory: with a
+        # relocated benchmarks/ the artifacts land next to it.
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        monkeypatch.setenv(BENCH_DIR_ENV, str(bench_dir))
+        assert default_out_dir() == tmp_path.resolve()
 
 
 # ---------------------------------------------------------------- runner

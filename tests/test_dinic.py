@@ -82,6 +82,53 @@ class TestBasics:
             MaxFlow(1)
 
 
+class TestMisuseGuards:
+    def test_second_max_flow_without_reset_raises(self):
+        net = MaxFlow(2)
+        net.add_edge(0, 1, 3)
+        assert net.max_flow(0, 1) == 3
+        with pytest.raises(RuntimeError, match="already ran"):
+            net.max_flow(0, 1)
+
+    def test_reset_allows_second_solve(self):
+        net = MaxFlow(3)
+        net.add_edge(0, 1, 2)
+        net.add_edge(1, 2, 2)
+        assert net.max_flow(0, 2) == 2
+        net.reset()
+        assert net.max_flow(0, 2) == 2
+
+    def test_augment_warm_starts_after_capacity_raise(self):
+        # augment() is the explicit warm-start API: after max_flow() the
+        # residual network stays valid, so raising a capacity and
+        # re-augmenting finds exactly the new headroom.
+        net = MaxFlow(3)
+        e1 = net.add_edge(0, 1, 2)
+        net.add_edge(1, 2, 5)
+        assert net.max_flow(0, 2) == 2
+        net.cap[e1] += 3  # raw capacity raise, residual stays consistent
+        net._initial_cap[e1] += 3
+        assert net.augment(0, 2) == 3
+        assert net.edge_flow(e1) == 5
+
+    def test_edge_flow_rejects_reverse_edge_id(self):
+        net = MaxFlow(2)
+        eid = net.add_edge(0, 1, 4)
+        net.max_flow(0, 1)
+        with pytest.raises(ValueError, match="reverse edge"):
+            net.edge_flow(eid + 1)
+
+    def test_augment_paths_counter(self):
+        net = MaxFlow(4)
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 3, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(2, 3, 1)
+        assert net.augment_paths == 0
+        net.max_flow(0, 3)
+        assert net.augment_paths == 2
+
+
 @st.composite
 def random_networks(draw):
     n = draw(st.integers(3, 8))

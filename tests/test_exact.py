@@ -52,6 +52,33 @@ class TestSolveExact:
         with pytest.raises(BudgetExceeded):
             solve_exact(medium_laminar, node_budget=2)
 
+    def test_budget_exceeded_carries_incumbent(self, medium_laminar):
+        from repro.flow.feasibility import slot_feasible
+
+        with pytest.raises(BudgetExceeded) as exc:
+            solve_exact(medium_laminar, node_budget=2)
+        err = exc.value
+        incumbent = err.incumbent()
+        # The search seeds from the greedy 3-approximation, so even a
+        # budget of 2 nodes has a feasible solution in hand.
+        assert incumbent is not None
+        assert incumbent.optimum == err.best_cost == len(err.best_slots)
+        assert incumbent.optimum >= solve_exact(medium_laminar).optimum
+        assert slot_feasible(medium_laminar, sorted(err.best_slots))
+        assert incumbent.schedule(medium_laminar).is_valid
+        assert err.nodes_explored > 0
+
+    def test_budget_exceeded_pickles_with_incumbent(self, medium_laminar):
+        import pickle
+
+        with pytest.raises(BudgetExceeded) as exc:
+            solve_exact(medium_laminar, node_budget=2)
+        clone = pickle.loads(pickle.dumps(exc.value))
+        assert isinstance(clone, BudgetExceeded)
+        assert clone.best_cost == exc.value.best_cost
+        assert tuple(clone.best_slots) == tuple(exc.value.best_slots)
+        assert clone.nodes_explored == exc.value.nodes_explored
+
     @pytest.mark.parametrize("seed", range(8))
     def test_matches_brute_force_laminar(self, seed):
         inst = random_laminar(6, 2, horizon=12, seed=seed)

@@ -1,0 +1,313 @@
+"""Unit and differential tests for the incremental flow engine.
+
+Covers the three layers of :mod:`repro.flow.incremental`:
+
+* :class:`IncrementalFlow` — capacity rebasing with flow repair on the
+  raw network (the invariant: a valid flow of value ``value`` with
+  ``flow ≤ capacity`` survives every mutation);
+* :class:`ClassFlowProber` and friends — bucket-level probing, backend
+  selection, and the differential cross-check;
+* a seeded fuzz sweep that pins the ``differential`` backend under the
+  real consumers (greedy deactivation + exact search), so every probe
+  the algorithms make is checked against the from-scratch reference.
+"""
+
+import pytest
+
+from repro.baselines.exact import BudgetExceeded, solve_exact
+from repro.baselines.minimal_feasible import minimal_feasible_slots
+from repro.flow.incremental import (
+    FLOW_BACKEND_ENV,
+    DifferentialFlowProber,
+    FlowMismatchError,
+    IncrementalFlow,
+    get_flow_backend,
+    flow_stats,
+    flow_stats_delta,
+    make_prober,
+    reference_probe,
+    render_flow_stats,
+    set_flow_backend,
+)
+from repro.util.errors import InfeasibleInstanceError
+from repro.verify.fuzz import FuzzConfig, sample_instance
+
+
+@pytest.fixture(autouse=True)
+def _unpinned_backend():
+    """Keep backend pins from leaking between tests."""
+    previous = set_flow_backend(None)
+    yield
+    set_flow_backend(previous)
+
+
+def _diamond():
+    """s=0 → {1,2} → t=3 with unit-ish capacities; returns (engine, ids)."""
+    engine = IncrementalFlow(4, 0, 3)
+    ids = {
+        "s1": engine.add_edge(0, 1, 2),
+        "s2": engine.add_edge(0, 2, 2),
+        "1t": engine.add_edge(1, 3, 2),
+        "2t": engine.add_edge(2, 3, 2),
+    }
+    return engine, ids
+
+
+class TestIncrementalFlow:
+    def test_augment_then_value(self):
+        engine, _ = _diamond()
+        assert engine.augment() == 4
+        assert engine.value == 4
+
+    def test_capacity_reflects_mutation(self):
+        engine, ids = _diamond()
+        assert engine.capacity(ids["1t"]) == 2
+        engine.set_capacity(ids["1t"], 5)
+        assert engine.capacity(ids["1t"]) == 5
+
+    def test_increase_needs_no_repair(self):
+        engine, ids = _diamond()
+        engine.augment()
+        assert engine.set_capacity(ids["1t"], 7) == 0.0
+        assert engine.value == 4  # untouched flow stays valid
+
+    def test_decrease_above_flow_needs_no_repair(self):
+        engine, ids = _diamond()
+        engine.set_capacity(ids["1t"], 1)  # no flow yet
+        assert engine.augment() == 3
+        assert engine.set_capacity(ids["s2"], 2) == 0.0
+
+    def test_decrease_below_flow_repairs_exact_excess(self):
+        engine, ids = _diamond()
+        engine.augment()
+        repaired = engine.set_capacity(ids["1t"], 1)
+        assert repaired == 1
+        assert engine.value == 3
+        assert engine.edge_flow(ids["1t"]) == 1
+
+    def test_repair_then_reaugment_finds_new_maximum(self):
+        engine, ids = _diamond()
+        engine.augment()
+        engine.set_capacity(ids["1t"], 0)
+        assert engine.value == 2
+        assert engine.augment() == 0  # other branch already saturated
+        engine.set_capacity(ids["1t"], 2)
+        assert engine.augment() == 2
+        assert engine.value == 4
+
+    def test_repair_to_zero_drains_everything(self):
+        engine = IncrementalFlow(3, 0, 2)
+        e1 = engine.add_edge(0, 1, 5)
+        e2 = engine.add_edge(1, 2, 5)
+        engine.augment()
+        assert engine.value == 5
+        assert engine.set_capacity(e2, 0) == 5
+        assert engine.value == 0
+        assert engine.edge_flow(e1) == 0  # repair rippled back to source
+
+    def test_repair_reroutes_through_other_branch(self):
+        # After draining one branch the other must still accept flow.
+        engine, ids = _diamond()
+        engine.augment()
+        engine.set_capacity(ids["s1"], 0)
+        engine.set_capacity(ids["2t"], 4)
+        engine.set_capacity(ids["s2"], 4)
+        engine.augment()
+        assert engine.value == 4
+        assert engine.edge_flow(ids["s1"]) == 0
+
+    def test_rejects_reverse_edge_id(self):
+        engine, ids = _diamond()
+        with pytest.raises(ValueError, match="reverse edge"):
+            engine.set_capacity(ids["s1"] + 1, 3)
+        with pytest.raises(ValueError, match="reverse edge"):
+            engine.capacity(ids["s1"] + 1)
+
+    def test_rejects_negative_capacity(self):
+        engine, ids = _diamond()
+        with pytest.raises(ValueError, match="negative"):
+            engine.set_capacity(ids["s1"], -1)
+
+    def test_stats_count_repairs_and_augmentation(self):
+        before = flow_stats()
+        engine, ids = _diamond()
+        engine.augment()
+        engine.set_capacity(ids["1t"], 0)
+        engine.augment()
+        delta = flow_stats_delta(flow_stats(), before)
+        assert delta["networks_built"] == 1
+        assert delta["units_repaired"] == 2
+        assert delta["units_augmented"] == 4
+        assert delta["augmenting_paths"] >= 2
+
+
+class TestBackendSelection:
+    def test_default_backend(self, monkeypatch):
+        monkeypatch.delenv(FLOW_BACKEND_ENV, raising=False)
+        assert get_flow_backend() == "incremental"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(FLOW_BACKEND_ENV, "reference")
+        assert get_flow_backend() == "reference"
+        assert make_prober([1], [[0]], 1).backend == "reference"
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(FLOW_BACKEND_ENV, "bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            get_flow_backend()
+
+    def test_pin_beats_env(self, monkeypatch):
+        monkeypatch.setenv(FLOW_BACKEND_ENV, "reference")
+        previous = set_flow_backend("differential")
+        try:
+            assert get_flow_backend() == "differential"
+        finally:
+            set_flow_backend(previous)
+
+    def test_set_returns_previous_pin(self):
+        assert set_flow_backend("reference") is None
+        assert set_flow_backend(None) == "reference"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_flow_backend("bogus")
+        with pytest.raises(ValueError):
+            make_prober([1], [[0]], 1, backend="bogus")
+
+    def test_render_flow_stats_mentions_counters(self):
+        text = render_flow_stats(flow_stats())
+        assert "probes" in text and "repaired" in text
+
+
+class TestClassFlowProber:
+    # Two jobs (p=2, p=3) over buckets {0}, {0,1}, g=2.
+    P = [2, 3]
+    BUCKETS = [[0], [0, 1]]
+    G = 2
+
+    def _probers(self):
+        inc = make_prober(self.P, self.BUCKETS, self.G, backend="incremental")
+        ref = make_prober(self.P, self.BUCKETS, self.G, backend="reference")
+        return inc, ref
+
+    @pytest.mark.parametrize(
+        "counts",
+        [(0, 0), (1, 1), (2, 1), (0, 3), (2, 3), (5, 5), (1, 0), (-1, 3)],
+    )
+    def test_matches_reference_per_vector(self, counts):
+        inc, ref = self._probers()
+        assert inc.probe(counts) == ref.probe(counts)
+
+    def test_matches_reference_across_sequences(self):
+        # The interesting case: warm-started probes after ups and downs.
+        inc, ref = self._probers()
+        sequence = [(2, 3), (2, 2), (1, 2), (2, 2), (0, 2), (3, 3), (0, 0)]
+        for counts in sequence:
+            assert inc.probe(counts) == ref.probe(counts), counts
+
+    def test_counts_length_validated(self):
+        inc, _ = self._probers()
+        with pytest.raises(ValueError, match="bucket counts"):
+            inc.probe((1, 2, 3))
+
+    def test_warm_probes_counted_as_rebuilds_avoided(self):
+        inc, _ = self._probers()
+        before = flow_stats()
+        inc.probe((2, 3))
+        inc.probe((1, 3))
+        inc.probe((1, 2))
+        delta = flow_stats_delta(flow_stats(), before)
+        assert delta["probes"] == 3
+        assert delta["rebuilds_avoided"] == 2  # first probe builds
+
+    def test_differential_prober_agrees_silently(self):
+        diff = make_prober(self.P, self.BUCKETS, self.G, backend="differential")
+        assert isinstance(diff, DifferentialFlowProber)
+        for counts in [(2, 3), (1, 1), (0, 3)]:
+            diff.probe(counts)
+        assert diff.probes == 3
+
+    def test_differential_prober_raises_on_disagreement(self, monkeypatch):
+        diff = make_prober(self.P, self.BUCKETS, self.G, backend="differential")
+        monkeypatch.setattr(
+            type(diff.reference), "probe", lambda self, counts: False
+        )
+        with pytest.raises(FlowMismatchError) as exc:
+            diff.probe((2, 3))  # genuinely feasible → incremental says True
+        assert exc.value.counts == (2, 3)
+        assert exc.value.incremental is True
+        assert exc.value.reference is False
+
+    def test_reference_probe_ignores_empty_buckets(self):
+        # counts <= 0 contribute no edges at all in the reference
+        # semantics; the incremental path must agree on that boundary.
+        assert reference_probe([1], [[0], [0]], 1, [0, 1])
+        assert not reference_probe([1], [[0], [0]], 1, [0, 0])
+
+
+def _sweep_instances(per_family: int):
+    for family in ("laminar", "general", "tight"):
+        config = FuzzConfig(
+            n_instances=per_family, seed=2022, family=family, max_jobs=9
+        )
+        for index in range(per_family):
+            yield sample_instance(config, index)
+
+
+class TestDifferentialSweep:
+    def test_consumers_agree_with_reference_on_every_probe(self):
+        """Greedy + exact under the differential backend: any verdict
+        disagreement between the engines raises FlowMismatchError."""
+        previous = set_flow_backend("differential")
+        before = flow_stats()
+        checked = 0
+        try:
+            for instance in _sweep_instances(40):
+                try:
+                    minimal_feasible_slots(instance, order="densest_first")
+                    if instance.n <= 7:
+                        solve_exact(instance, node_budget=500)
+                except (InfeasibleInstanceError, BudgetExceeded):
+                    pass
+                checked += 1
+        finally:
+            set_flow_backend(previous)
+        delta = flow_stats_delta(flow_stats(), before)
+        assert checked == 120
+        assert delta["probes"] > 500  # every one cross-checked
+        assert delta["probes"] == delta["reference_probes"]
+
+    def test_greedy_slots_identical_across_backends(self):
+        for instance in _sweep_instances(10):
+            results = {}
+            for backend in ("incremental", "reference"):
+                previous = set_flow_backend(backend)
+                try:
+                    results[backend] = minimal_feasible_slots(
+                        instance, order="right_to_left"
+                    )
+                except InfeasibleInstanceError:
+                    results[backend] = "infeasible"
+                finally:
+                    set_flow_backend(previous)
+            assert results["incremental"] == results["reference"]
+
+    def test_exact_outcome_identical_across_backends(self):
+        for instance in _sweep_instances(6):
+            if instance.n > 8:
+                continue
+            outcomes = {}
+            for backend in ("incremental", "reference"):
+                previous = set_flow_backend(backend)
+                try:
+                    result = solve_exact(instance, node_budget=5000)
+                    outcomes[backend] = (
+                        result.optimum, result.nodes_explored
+                    )
+                except BudgetExceeded:
+                    outcomes[backend] = "budget"
+                except InfeasibleInstanceError:
+                    outcomes[backend] = "infeasible"
+                finally:
+                    set_flow_backend(previous)
+            assert outcomes["incremental"] == outcomes["reference"]

@@ -29,8 +29,24 @@ class TestModelling:
     def test_unknown_var_in_constraint_rejected(self):
         lp = LinearProgram()
         lp.add_var("x")
-        with pytest.raises(KeyError):
-            lp.add_constraint({"zz": 1}, "<=", 1)
+        with pytest.raises(ValueError, match="unknown variable 'zz'") as exc:
+            lp.add_constraint({"zz": 1}, "<=", 1, label="cover")
+        assert "cover" in str(exc.value)
+        # `from None`: the internal KeyError must not leak as context.
+        assert exc.value.__suppress_context__
+
+    def test_failed_constraint_leaves_model_unchanged(self):
+        # The unknown variable is hit midway, after part of the
+        # constraint has been indexed; the partial row must be discarded.
+        lp = LinearProgram()
+        lp.add_var("x")
+        lp.add_var("y")
+        with pytest.raises(ValueError):
+            lp.add_constraint({"x": 1, "zz": 2, "y": 3}, "<=", 1)
+        assert lp.num_constraints == 0
+        lp.add_constraint({"x": 1, "y": 1}, "<=", 5)
+        assert lp.num_constraints == 1
+        assert lp.compile()["A_ub"].nnz == 2
 
     def test_bad_sense_rejected(self):
         lp = LinearProgram()
