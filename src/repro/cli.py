@@ -9,6 +9,7 @@ Subcommands
 ``inspect``    canonical window tree, lengths and OPT_i thresholds
 ``bench``      benchmark harness passthrough (``repro.benchkit``)
 ``fuzz``       differential fuzzing: random instances through the oracle
+``twin``       rescheduling digital twin: record/replay event traces, fuzz
 """
 
 from __future__ import annotations
@@ -200,6 +201,98 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_twin_record(args: argparse.Namespace) -> int:
+    from repro.twin import (
+        count_kinds,
+        dump_trace,
+        random_trace,
+        trace_from_instance,
+    )
+
+    if args.from_instance:
+        trace = trace_from_instance(load_instance(args.from_instance))
+    else:
+        trace = random_trace(
+            args.events,
+            args.g,
+            seed=args.seed,
+            p_max=args.p_max,
+            slack_max=args.slack_max,
+        )
+    dump_trace(trace, args.output)
+    kinds = ", ".join(f"{k}={v}" for k, v in count_kinds(trace.events).items())
+    print(f"trace {trace.name!r}: g={trace.g} {len(trace)} events ({kinds})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_twin_replay(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.simulate import BatchMachine
+    from repro.twin import TwinSession, load_trace, twin_fingerprint
+
+    trace = load_trace(args.trace)
+    session = TwinSession(trace.g, start=trace.start, backend=args.backend)
+    diffs = session.replay(trace, strict=args.strict)
+    if args.verbose:
+        for k, diff in enumerate(diffs):
+            flags = "ok" if diff.accepted else "REJECTED"
+            print(
+                f"#{k:4d} {diff.event.kind:15s} {flags:8s} "
+                f"+{list(diff.activated)} -{list(diff.deactivated)} "
+                f"active_time={diff.active_time}"
+                + (f"  ({diff.detail})" if diff.detail else "")
+            )
+    accepted = sum(1 for d in diffs if d.accepted)
+    print(
+        f"replayed {len(diffs)} events on backend {args.backend!r}: "
+        f"{accepted} accepted, {len(diffs) - accepted} rejected, "
+        f"active_time={session.active_time} "
+        f"(committed {len(session.committed_slots)} slots, "
+        f"planned {len(session.open_slots)})"
+    )
+    print(f"diff-stream fingerprint: {twin_fingerprint(diffs)}")
+    if args.audit:
+        BatchMachine(trace.g).audit_twin(session)
+        print("machine audit: committed history is valid")
+    if args.report:
+        payload = {
+            "trace": str(args.trace),
+            "backend": args.backend,
+            "fingerprint": twin_fingerprint(diffs),
+            "active_time": session.active_time,
+            "counters": session.counters,
+            "diffs": [d.to_dict() for d in diffs],
+        }
+        with open(args.report, "w") as fh:
+            _json.dump(payload, fh, indent=2)
+        print(f"wrote {args.report}")
+    return 0
+
+
+def _cmd_twin_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import (
+        TwinFuzzConfig,
+        render_twin_fuzz_result,
+        run_twin_fuzz,
+        write_twin_fuzz_report,
+    )
+
+    config = TwinFuzzConfig(
+        n_traces=args.n_traces,
+        n_events=args.events,
+        seed=args.seed,
+        g_max=args.g_max,
+    )
+    result = run_twin_fuzz(config, progress=print)
+    print(render_twin_fuzz_result(result))
+    if args.report:
+        write_twin_fuzz_report(result, args.report)
+        print(f"wrote {args.report}")
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="active-time",
@@ -323,6 +416,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--report", help="write a JSON campaign report here")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    twin = sub.add_parser(
+        "twin",
+        help="rescheduling digital twin over the incremental flow engine",
+    )
+    twin_sub = twin.add_subparsers(dest="twin_command", required=True)
+
+    record = twin_sub.add_parser(
+        "record", help="write an event trace (random or from an instance)"
+    )
+    record.add_argument("output", help="output trace JSON path")
+    record.add_argument(
+        "--from-instance",
+        help="derive the trace from a JSON instance (arrivals + final tick)",
+    )
+    record.add_argument("--events", type=int, default=60)
+    record.add_argument("--g", type=int, default=3)
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--p-max", type=int, default=4)
+    record.add_argument("--slack-max", type=int, default=8)
+    record.set_defaults(func=_cmd_twin_record)
+
+    replay = twin_sub.add_parser(
+        "replay", help="replay a trace through a twin session"
+    )
+    replay.add_argument("trace", help="trace JSON path")
+    replay.add_argument(
+        "--backend",
+        default="incremental",
+        choices=["incremental", "cold", "differential"],
+        help="'differential' cross-checks every event against the "
+        "from-scratch flow path",
+    )
+    replay.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on the first rejected event instead of recording it",
+    )
+    replay.add_argument(
+        "--audit",
+        action="store_true",
+        help="re-check the committed history with the machine simulator",
+    )
+    replay.add_argument(
+        "--verbose", action="store_true", help="print one line per event"
+    )
+    replay.add_argument("--report", help="write the full diff stream here")
+    replay.set_defaults(func=_cmd_twin_replay)
+
+    tfuzz = twin_sub.add_parser(
+        "fuzz", help="replay random traces with every cross-check armed"
+    )
+    tfuzz.add_argument("--n-traces", type=int, default=20)
+    tfuzz.add_argument("--events", type=int, default=60)
+    tfuzz.add_argument("--seed", type=int, default=0)
+    tfuzz.add_argument("--g-max", type=int, default=4)
+    tfuzz.add_argument("--report", help="write a JSON campaign report here")
+    tfuzz.set_defaults(func=_cmd_twin_fuzz)
     return parser
 
 

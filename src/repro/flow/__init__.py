@@ -14,6 +14,7 @@ from repro.flow.incremental import (
     FLOW_BACKENDS,
     ClassFlowProber,
     DifferentialFlowProber,
+    DynamicFlowProber,
     FlowMismatchError,
     IncrementalFlow,
     ReferenceFlowProber,
@@ -38,6 +39,7 @@ __all__ = [
     "schedule_from_node_counts",
     "IncrementalFlow",
     "ClassFlowProber",
+    "DynamicFlowProber",
     "ReferenceFlowProber",
     "DifferentialFlowProber",
     "FlowMismatchError",

@@ -43,6 +43,42 @@ class MaxFlow:
         self._solved = False
         self.augment_paths = 0  # lifetime count of augmenting paths pushed
 
+    def add_node(self) -> int:
+        """Append a fresh isolated node; returns its id.
+
+        Growing the node set never invalidates existing edges, levels are
+        rebuilt per BFS, and an isolated node carries no flow — so this is
+        safe between solves.  The dynamic networks in
+        :mod:`repro.flow.incremental` use it to admit jobs after
+        construction.
+        """
+        self.head.append([])
+        self.n += 1
+        return self.n - 1
+
+    def drop_edge(self, eid: int) -> None:
+        """Detach a flow-free edge from the adjacency lists.
+
+        The edge (and its reverse) stops participating in BFS/DFS scans;
+        its id stays allocated, so other edge ids remain valid.  Only a
+        flow-free edge may be dropped — detaching an edge that still
+        carries flow would break conservation at both endpoints.  Long-
+        lived incremental networks use this to shed dead structure
+        (cancelled jobs, frozen slots) so search cost tracks the *live*
+        network, not everything ever added.
+        """
+        if eid & 1:
+            raise ValueError(
+                f"edge id {eid} is a reverse edge; drop_edge() takes the "
+                f"even id returned by add_edge()"
+            )
+        if self.cap[eid] != self._initial_cap[eid] or self.cap[eid ^ 1] != 0:
+            raise ValueError(f"edge {eid} still carries flow; cancel it first")
+        u = self.to[eid ^ 1]
+        v = self.to[eid]
+        self.head[u].remove(eid)
+        self.head[v].remove(eid ^ 1)
+
     def add_edge(self, u: int, v: int, capacity: float) -> int:
         """Add a directed edge; returns its id (even; reverse id is id+1)."""
         if capacity < 0:
@@ -64,8 +100,7 @@ class MaxFlow:
         self._solved = False
 
     def _bfs(self, s: int, t: int, level: list[int]) -> bool:
-        for i in range(self.n):
-            level[i] = -1
+        level[:] = [-1] * self.n
         level[s] = 0
         q = deque([s])
         to, cap = self.to, self.cap

@@ -241,6 +241,21 @@ class IncrementalFlow:
         """Add an edge (before or between solves); returns its even id."""
         return self.net.add_edge(u, v, capacity)
 
+    def add_node(self) -> int:
+        """Append a fresh isolated node (before or between solves)."""
+        return self.net.add_node()
+
+    def drop_edge(self, eid: int) -> None:
+        """Detach a flow-free edge (see :meth:`MaxFlow.drop_edge`).
+
+        The flow value is untouched — the network refuses to drop an
+        edge that still carries flow, so cancel it first with
+        :meth:`set_capacity`.
+        """
+        if eid & 1:
+            raise ValueError(f"edge id {eid} is a reverse edge")
+        self.net.drop_edge(eid)
+
     # -- inspection --------------------------------------------------------
 
     def edge_flow(self, eid: int) -> float:
@@ -446,6 +461,239 @@ class ClassFlowProber:
         if engine.value < self.total:
             engine.augment()
         return engine.value == self.total
+
+
+class DynamicFlowProber:
+    """Warm-started job↔slot feasibility network with a *mutable job side*.
+
+    :class:`ClassFlowProber` answers ``probe(counts)`` for a fixed job
+    set over fixed buckets; the rescheduling twin
+    (:mod:`repro.twin.session`) needs the dual: the open-slot set changes
+    one slot at a time *and* the job set itself mutates — jobs arrive,
+    cancel, slip their windows, and shrink as executed work is committed.
+    This network keeps one bucket per concrete slot::
+
+        source --rem_j--> job j --1--> slot t --g·[open(t)]--> sink
+
+    so every session mutation is a handful of
+    :meth:`IncrementalFlow.set_capacity` calls on one long-lived engine:
+
+    * opening/closing a slot touches exactly one slot→sink edge
+      (repair cancels ≤ ``g`` units, re-augmentation pushes ≤ ``g``);
+    * a job arrival appends one node plus its window edges
+      (:meth:`IncrementalFlow.add_node` — no rebuild);
+    * a cancellation zeroes the job's source edge (repair cancels its
+      remaining volume) and its window edges;
+    * committing an executed slot removes its flow and the matching
+      source capacity in lock-step, leaving the invariant
+      ``value == total`` untouched.
+
+    Feasibility is ``value == total`` after re-augmentation, exactly the
+    slot-level reference semantics of
+    :func:`repro.flow.feasibility.slot_feasible` on the open slots; the
+    twin's differential mode cross-checks every verdict against that
+    from-scratch path.
+    """
+
+    backend = "incremental"
+
+    def __init__(self, g: int, start: int, end: int) -> None:
+        if g < 1:
+            raise ValueError(f"capacity g must be >= 1, got {g}")
+        if end < start:
+            raise ValueError(f"empty slot range [{start},{end})")
+        self.g = g
+        self.start = start
+        self.end = start  # grown below (and on demand) via _ensure_slot
+        self.total = 0
+        engine = IncrementalFlow(2, 0, 1)
+        self.engine = engine
+        self._slot_node: dict[int, int] = {}
+        self._slot_sink: dict[int, int] = {}  # slot -> slot→sink edge id
+        self._slot_edges: dict[int, list[tuple[int, int]]] = {}
+        self._open: set[int] = set()
+        self._committed: set[int] = set()
+        self._jobs: dict[int, dict] = {}
+        self._probed = False
+        for t in range(start, end):
+            self._ensure_slot(t)
+
+    # -- slot side ---------------------------------------------------------
+
+    def _ensure_slot(self, t: int) -> int:
+        """Node id for slot ``t``, materializing the slot on demand."""
+        node = self._slot_node.get(t)
+        if node is None:
+            if t < self.start:
+                raise ValueError(
+                    f"slot {t} precedes the network start {self.start}"
+                )
+            node = self.engine.add_node()
+            self._slot_node[t] = node
+            self._slot_sink[t] = self.engine.add_edge(node, 1, 0)
+            self._slot_edges[t] = []
+            self.end = max(self.end, t + 1)
+        return node
+
+    def open_slots(self) -> set[int]:
+        """The currently open (sink-capacitated) slots."""
+        return set(self._open)
+
+    def set_open(self, t: int, is_open: bool) -> None:
+        """Open or close slot ``t`` — a single sink-edge mutation."""
+        if is_open and t in self._committed:
+            raise ValueError(f"slot {t} is committed history; cannot reopen")
+        self._ensure_slot(t)
+        if is_open == (t in self._open):
+            return
+        self.engine.set_capacity(self._slot_sink[t], self.g if is_open else 0)
+        (self._open.add if is_open else self._open.discard)(t)
+
+    # -- job side ----------------------------------------------------------
+
+    def add_job(
+        self, handle: int, remaining: int, release: int, deadline: int
+    ) -> None:
+        """Admit a job node with ``remaining`` units and window ``[r, d)``."""
+        if handle in self._jobs:
+            raise ValueError(f"job handle {handle} already present")
+        if remaining < 0:
+            raise ValueError(f"negative remaining work {remaining}")
+        node = self.engine.add_node()
+        source_eid = self.engine.add_edge(0, node, remaining)
+        record = {
+            "node": node,
+            "source": source_eid,
+            "remaining": remaining,
+            "window": (release, deadline),
+            "edges": {},
+        }
+        self._jobs[handle] = record
+        self.total += remaining
+        self._set_window_edges(handle, release, deadline)
+
+    def _set_window_edges(self, handle: int, release: int, deadline: int) -> None:
+        record = self._jobs[handle]
+        edges: dict[int, int] = record["edges"]
+        for t, eid in edges.items():
+            inside = release <= t < deadline
+            if self.engine.capacity(eid) != (1 if inside else 0):
+                self.engine.set_capacity(eid, 1 if inside else 0)
+        for t in range(release, deadline):
+            if t not in edges and t not in self._committed:
+                node = self._ensure_slot(t)
+                eid = self.engine.add_edge(record["node"], node, 1)
+                edges[t] = eid
+                self._slot_edges[t].append((handle, eid))
+        record["window"] = (release, deadline)
+
+    def set_window(self, handle: int, release: int, deadline: int) -> None:
+        """Move/resize a job's window (slips repair any stranded flow)."""
+        self._set_window_edges(handle, release, deadline)
+
+    def set_remaining(self, handle: int, remaining: int) -> None:
+        """Rebase a job's outstanding volume (source-edge capacity)."""
+        if remaining < 0:
+            raise ValueError(f"negative remaining work {remaining}")
+        record = self._jobs[handle]
+        self.engine.set_capacity(record["source"], remaining)
+        self.total += remaining - record["remaining"]
+        record["remaining"] = remaining
+
+    def remove_job(self, handle: int) -> None:
+        """Cancel a job: repair away its flow and detach it entirely.
+
+        Zeroing the source edge cancels the job's volume; each window
+        edge is then flow-free and physically dropped from the adjacency
+        lists, so the node is isolated and later probes never scan it —
+        the live network tracks the live job set.
+        """
+        record = self._jobs[handle]
+        self.set_remaining(handle, 0)
+        for t, eid in record["edges"].items():
+            if self.engine.capacity(eid) != 0:
+                self.engine.set_capacity(eid, 0)
+            self.engine.drop_edge(eid)
+            self._slot_edges[t].remove((handle, eid))
+        self.engine.drop_edge(record["source"])
+        del self._jobs[handle]
+
+    def jobs(self) -> list[int]:
+        """Handles of the jobs currently in the network."""
+        return sorted(self._jobs)
+
+    def remaining(self, handle: int) -> int:
+        return self._jobs[handle]["remaining"]
+
+    def window(self, handle: int) -> tuple[int, int]:
+        return self._jobs[handle]["window"]
+
+    # -- committing executed work -----------------------------------------
+
+    def commit_slot(self, t: int) -> list[int]:
+        """Execute the current plan at slot ``t`` and freeze the slot.
+
+        Returns the handles that ran (one unit each, per the current
+        flow), closes the slot permanently, and decrements the runners'
+        remaining volume so ``value == total`` is preserved — committing
+        never needs a re-augmentation.
+        """
+        if t in self._committed:
+            raise ValueError(f"slot {t} already committed")
+        ran = self.slot_jobs(t)
+        self.set_open(t, False)  # cancels exactly the flow through t
+        self._committed.add(t)
+        for handle in ran:
+            self.set_remaining(handle, self._jobs[handle]["remaining"] - 1)
+        # Frozen slots never carry flow again: detach the slot's edges so
+        # probes over the rest of the session stop scanning them.
+        for handle, eid in self._slot_edges[t]:
+            if self.engine.capacity(eid) != 0:
+                self.engine.set_capacity(eid, 0)
+            self.engine.drop_edge(eid)
+            del self._jobs[handle]["edges"][t]
+        self._slot_edges[t] = []
+        self.engine.drop_edge(self._slot_sink[t])
+        return ran
+
+    # -- probing and extraction -------------------------------------------
+
+    def probe(self) -> bool:
+        """Feasibility of the current (jobs, windows, open slots) state."""
+        _STATS.probes += 1
+        if self._probed:
+            _STATS.rebuilds_avoided += 1
+        self._probed = True
+        engine = self.engine
+        if engine.value < self.total:
+            engine.augment()
+        return engine.value == self.total
+
+    def job_slots(self, handle: int) -> list[int]:
+        """Slots the current flow assigns to ``handle``, sorted."""
+        record = self._jobs[handle]
+        # Hot path (read once per job per event by the twin): read the
+        # flow straight off the arrays instead of through two wrappers.
+        net = self.engine.net
+        icap, cap = net._initial_cap, net.cap
+        return sorted(
+            t for t, eid in record["edges"].items()
+            if icap[eid] - cap[eid] > 0.5
+        )
+
+    def slot_jobs(self, t: int) -> list[int]:
+        """Handles the current flow runs at slot ``t``, sorted."""
+        net = self.engine.net
+        icap, cap = net._initial_cap, net.cap
+        return sorted(
+            handle
+            for handle, eid in self._slot_edges.get(t, ())
+            if icap[eid] - cap[eid] > 0.5
+        )
+
+    def assignment(self) -> dict[int, list[int]]:
+        """Per-job slot lists of the current flow (valid after a True probe)."""
+        return {handle: self.job_slots(handle) for handle in self._jobs}
 
 
 class ReferenceFlowProber:

@@ -5,6 +5,7 @@ from repro.online.policies import (
     LazyActivation,
     OnlinePolicy,
     OnlineRun,
+    TwinLookahead,
     competitive_ratio,
     run_online,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "OnlinePolicy",
     "EagerActivation",
     "LazyActivation",
+    "TwinLookahead",
     "run_online",
     "OnlineRun",
     "competitive_ratio",

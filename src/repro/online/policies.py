@@ -164,6 +164,67 @@ class LazyActivation(OnlinePolicy):
         return batch
 
 
+class TwinLookahead(OnlinePolicy):
+    """Drive slot decisions from a rescheduling digital twin.
+
+    The policy keeps a :class:`~repro.twin.session.TwinSession` in
+    lock-step with the replay: newly visible jobs are fed to the twin as
+    arrival events (``strict=True`` — an inadmissible arrival is exactly
+    the feasibility-guard condition, so it surfaces as
+    :class:`~repro.util.errors.InfeasibleInstanceError`), the twin clock
+    ticks to the current slot, and slot ``t`` is powered iff the twin's
+    incrementally repaired plan powers it, running exactly the twin's
+    batch.  Compared to :class:`LazyActivation` this replaces the two
+    from-scratch flow solves per slot with warm-started repair on one
+    long-lived network, and its lookahead is the repaired plan itself.
+
+    The batch is not padded: the twin's committed history must mirror
+    what the harness executes, and padding would let the two diverge.
+    """
+
+    name = "twin"
+
+    def __init__(self, backend: str = "incremental") -> None:
+        self.backend = backend
+        self._twin = None
+        self._seen: set[int] = set()
+
+    def reset(self) -> None:
+        """Drop twin state so the policy can replay another instance."""
+        self._twin = None
+        self._seen = set()
+
+    def decide(self, t, pending, future_slots, g):
+        from repro.instances.jobs import Job
+        from repro.twin.events import JobArrived, SlotTick
+        from repro.twin.session import TwinSession
+
+        if self._twin is None:
+            self._twin = TwinSession(g, start=t, backend=self.backend)
+        twin = self._twin
+        for job in pending:
+            if job.id not in self._seen:
+                self._seen.add(job.id)
+                twin.apply(
+                    JobArrived(
+                        Job(
+                            id=job.id,
+                            release=t,
+                            deadline=job.deadline,
+                            processing=job.remaining,
+                        )
+                    ),
+                    strict=True,
+                )
+        twin.apply(SlotTick(until=t))
+        batch = sorted(
+            jid
+            for jid, slots in twin.planned_assignment().items()
+            if t in slots
+        )
+        return batch or None
+
+
 @dataclass
 class OnlineRun:
     """Result of replaying an instance through a policy."""
@@ -199,13 +260,24 @@ def run_online(instance: Instance, policy: OnlinePolicy) -> OnlineRun:
         batch = policy.decide(t, pending, future, instance.g)
         if batch is None:
             continue
-        activations.append(t)
         by_id = {j.id: j for j in pending}
+        executed = 0
         for jid in batch[: instance.g]:
-            job = by_id[jid]
+            job = by_id.get(jid)
+            if job is None:
+                raise ValueError(
+                    f"policy {policy.name!r} returned job id {jid} at slot "
+                    f"{t}, which is not pending (pending ids: {sorted(by_id)})"
+                )
             if job.remaining > 0 and t < job.deadline:
                 job.remaining -= 1
                 assignment[jid].append(t)
+                executed += 1
+        # A batch that executes nothing must not power the slot: recording
+        # the activation anyway would charge energy for an idle slot and
+        # desync OnlineRun.activations from the schedule's active slots.
+        if executed:
+            activations.append(t)
     leftover = [j for j in pending if j.remaining > 0]
     if leftover:
         raise InfeasibleInstanceError(

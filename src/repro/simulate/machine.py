@@ -82,7 +82,16 @@ class BatchMachine:
         energy = 0.0
         total_units = 0
         preemptions = 0
-        for t in sorted(by_slot):
+        # The trace covers the whole active span: slots the schedule skips
+        # inside it are real machine states (powered down, nothing runs)
+        # and are emitted as powered=False events — energy and active-slot
+        # accounting count only powered slots.
+        active = sorted(by_slot)
+        span = range(active[0], active[-1] + 1) if active else range(0)
+        for t in span:
+            if t not in by_slot:
+                events.append(SlotEvent(slot=t, running=(), powered=False))
+                continue
             running = tuple(sorted(by_slot[t]))
             if len(running) != len(set(running)):
                 raise InvalidInstanceError(f"slot {t}: duplicate job run")
@@ -112,7 +121,106 @@ class BatchMachine:
 
         return SimulationResult(
             events=events,
-            active_slots=len(events),
+            active_slots=sum(1 for e in events if e.powered),
+            energy=energy,
+            total_units=total_units,
+            preemptions=preemptions,
+            remaining=remaining,
+        )
+
+    def audit_twin(self, session) -> SimulationResult:
+        """Audit a twin session's committed history under the machine model.
+
+        Replays the executed trace of a
+        :class:`~repro.twin.session.TwinSession` (idle gaps included, as
+        in :meth:`run`) and re-checks it independently of the twin's own
+        bookkeeping: per-slot capacity, no duplicate runs, deadlines, and
+        per-job volume conservation (executed units must equal admitted
+        work minus outstanding work; finished jobs must have none left).
+        Releases are checked against each job's *arrival-time* window
+        start, not the current one — a later accepted slip can move the
+        release past slots that were legitimately executed before it.
+
+        ``remaining`` maps every non-cancelled admitted job to its
+        outstanding units, so ``all_finished`` answers "did the session
+        run everything it accepted so far?".
+        """
+        if session.g != self.g:
+            raise InvalidInstanceError(
+                f"machine capacity {self.g} != twin capacity {session.g}"
+            )
+        history = session.history()
+        records = {r.job_id: r for r in session.jobs()}
+        executed: dict[int, int] = {jid: 0 for jid in records}
+        last_ran: dict[int, int] = {}
+        events: list[SlotEvent] = []
+        energy = 0.0
+        total_units = 0
+        preemptions = 0
+        active = sorted(history)
+        span = range(active[0], active[-1] + 1) if active else range(0)
+        for t in span:
+            if t not in history:
+                events.append(SlotEvent(slot=t, running=(), powered=False))
+                continue
+            running = tuple(sorted(history[t]))
+            if len(running) != len(set(running)):
+                raise InvalidInstanceError(f"slot {t}: duplicate job run")
+            if len(running) > self.g:
+                raise InvalidInstanceError(
+                    f"slot {t}: load {len(running)} exceeds capacity {self.g}"
+                )
+            if t >= session.now:
+                raise InvalidInstanceError(
+                    f"slot {t}: committed ahead of the twin clock {session.now}"
+                )
+            for jid in running:
+                record = records.get(jid)
+                if record is None:
+                    raise InvalidInstanceError(f"slot {t}: unknown job {jid}")
+                if not t < record.deadline:
+                    raise InvalidInstanceError(
+                        f"slot {t}: job {jid} ran at or past its deadline "
+                        f"{record.deadline}"
+                    )
+                if executed[jid] >= record.processing:
+                    raise InvalidInstanceError(
+                        f"slot {t}: job {jid} already finished"
+                    )
+                executed[jid] += 1
+                if jid in last_ran and last_ran[jid] != t - 1:
+                    preemptions += 1
+                last_ran[jid] = t
+            energy += self.power_per_slot
+            total_units += len(running)
+            events.append(SlotEvent(slot=t, running=running, powered=True))
+        for jid, record in records.items():
+            ran = record.processing - record.remaining
+            if record.status == "cancelled":
+                if executed[jid] > ran:
+                    raise InvalidInstanceError(
+                        f"job {jid}: trace ran {executed[jid]} units but the "
+                        f"twin accounts for {ran} before cancellation"
+                    )
+                continue
+            if executed[jid] != ran:
+                raise InvalidInstanceError(
+                    f"job {jid}: trace ran {executed[jid]} units but the twin "
+                    f"accounts for {ran}"
+                )
+            if record.status == "finished" and record.remaining != 0:
+                raise InvalidInstanceError(
+                    f"job {jid}: marked finished with {record.remaining} "
+                    f"units outstanding"
+                )
+        remaining = {
+            jid: record.remaining
+            for jid, record in records.items()
+            if record.status != "cancelled"
+        }
+        return SimulationResult(
+            events=events,
+            active_slots=sum(1 for e in events if e.powered),
             energy=energy,
             total_units=total_units,
             preemptions=preemptions,

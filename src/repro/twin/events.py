@@ -1,0 +1,270 @@
+"""Replayable event logs for the rescheduling digital twin.
+
+A :class:`TwinTrace` is a self-contained, committable description of a
+dynamic workload: the machine capacity plus an ordered stream of events
+(:class:`JobArrived`, :class:`JobCancelled`, :class:`WindowSlipped`,
+:class:`SlotTick`).  The JSON format mirrors :mod:`repro.instances.io`
+so traces can live next to instance files under ``data/`` and in CI
+artifacts, and :func:`random_trace` draws seeded traces for fuzzing and
+the E16 benchmark — the generator is a pure function of its parameters,
+so a failing (seed, index) pair can always be regenerated in isolation.
+
+Events deliberately carry *requests*, not verdicts: an arrival or a
+window slip that would make the released work unschedulable is rejected
+by the session's admission control (see :mod:`repro.twin.session`), and
+the rejection is part of the deterministic
+:class:`~repro.twin.session.ScheduleDiff` stream rather than an error —
+exactly how a scheduling service would answer an untrusted client.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Union
+
+from repro.instances.jobs import Instance, Job
+from repro.util.errors import InvalidInstanceError
+
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JobArrived:
+    """A new job is released to the system (at the session's current time)."""
+
+    job: Job
+
+    kind = "job_arrived"
+
+
+@dataclass(frozen=True)
+class JobCancelled:
+    """A previously arrived job withdraws its remaining work."""
+
+    job_id: int
+
+    kind = "job_cancelled"
+
+
+@dataclass(frozen=True)
+class WindowSlipped:
+    """A job's execution window moves to ``[release, deadline)``."""
+
+    job_id: int
+    release: int
+    deadline: int
+
+    kind = "window_slipped"
+
+
+@dataclass(frozen=True)
+class SlotTick:
+    """Wall-clock advances to ``until``: the plan in ``[now, until)`` runs."""
+
+    until: int
+
+    kind = "slot_tick"
+
+
+TwinEvent = Union[JobArrived, JobCancelled, WindowSlipped, SlotTick]
+
+_EVENT_KINDS = {
+    cls.kind: cls for cls in (JobArrived, JobCancelled, WindowSlipped, SlotTick)
+}
+
+
+def event_to_dict(event: TwinEvent) -> dict[str, Any]:
+    """Plain-dict form of one event (JSON-compatible)."""
+    if isinstance(event, JobArrived):
+        j = event.job
+        return {
+            "type": event.kind,
+            "job": {"id": j.id, "r": j.release, "d": j.deadline, "p": j.processing},
+        }
+    if isinstance(event, JobCancelled):
+        return {"type": event.kind, "job_id": event.job_id}
+    if isinstance(event, WindowSlipped):
+        return {
+            "type": event.kind,
+            "job_id": event.job_id,
+            "r": event.release,
+            "d": event.deadline,
+        }
+    if isinstance(event, SlotTick):
+        return {"type": event.kind, "until": event.until}
+    raise TypeError(f"not a twin event: {event!r}")
+
+
+def event_from_dict(data: dict[str, Any]) -> TwinEvent:
+    """Parse the dict form back into an event."""
+    try:
+        kind = data["type"]
+        if kind == "job_arrived":
+            j = data["job"]
+            return JobArrived(
+                Job(
+                    id=int(j["id"]),
+                    release=int(j["r"]),
+                    deadline=int(j["d"]),
+                    processing=int(j["p"]),
+                )
+            )
+        if kind == "job_cancelled":
+            return JobCancelled(job_id=int(data["job_id"]))
+        if kind == "window_slipped":
+            return WindowSlipped(
+                job_id=int(data["job_id"]),
+                release=int(data["r"]),
+                deadline=int(data["d"]),
+            )
+        if kind == "slot_tick":
+            return SlotTick(until=int(data["until"]))
+    except (KeyError, TypeError) as exc:
+        raise InvalidInstanceError(f"malformed twin event: {exc}") from exc
+    raise InvalidInstanceError(
+        f"unknown twin event type {data.get('type')!r}; "
+        f"expected one of {sorted(_EVENT_KINDS)}"
+    )
+
+
+@dataclass(frozen=True)
+class TwinTrace:
+    """A committable dynamic workload: capacity + ordered event stream."""
+
+    g: int
+    events: tuple[TwinEvent, ...]
+    start: int = 0
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.g, int) or self.g < 1:
+            raise InvalidInstanceError(
+                f"capacity g must be a positive int, got {self.g!r}"
+            )
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def trace_to_dict(trace: TwinTrace) -> dict[str, Any]:
+    """Plain-dict form of a whole trace (JSON-compatible)."""
+    return {
+        "version": TRACE_FORMAT_VERSION,
+        "kind": "twin-event-log",
+        "g": trace.g,
+        "start": trace.start,
+        "name": trace.name,
+        "events": [event_to_dict(e) for e in trace.events],
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> TwinTrace:
+    """Parse the dict form back into a trace."""
+    try:
+        return TwinTrace(
+            g=int(data["g"]),
+            events=tuple(event_from_dict(e) for e in data["events"]),
+            start=int(data.get("start", 0)),
+            name=str(data.get("name", "")),
+        )
+    except (KeyError, TypeError) as exc:
+        raise InvalidInstanceError(f"malformed twin trace: {exc}") from exc
+
+
+def dump_trace(trace: TwinTrace, path: str | Path) -> None:
+    """Write a trace to a JSON file."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace), indent=2) + "\n")
+
+
+def load_trace(path: str | Path) -> TwinTrace:
+    """Read a trace from a JSON file."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def trace_from_instance(instance: Instance, *, final_tick: bool = True) -> TwinTrace:
+    """A static instance as a trace: all arrivals up front, one final tick.
+
+    Replaying it through a twin session reproduces the batch setting the
+    offline solvers handle, which makes a convenient differential anchor.
+    """
+    events: list[TwinEvent] = [JobArrived(job) for job in instance.jobs]
+    if final_tick and instance.n:
+        events.append(SlotTick(until=instance.horizon.end))
+    return TwinTrace(
+        g=instance.g,
+        events=tuple(events),
+        start=instance.horizon.start if instance.n else 0,
+        name=instance.name or "from-instance",
+    )
+
+
+def random_trace(
+    n_events: int,
+    g: int,
+    *,
+    seed: int = 0,
+    p_max: int = 4,
+    slack_max: int = 8,
+    name: str = "",
+) -> TwinTrace:
+    """A seeded random event stream (pure function of the parameters).
+
+    The mix is arrival-heavy (~half the events) with ticks, cancellations
+    and window slips making up the rest; windows always have room for
+    their own processing time, but *combined* infeasibility under
+    capacity ``g`` is allowed — admission control rejecting an event is
+    part of what replay exercises.
+    """
+    if n_events < 1:
+        raise ValueError("n_events must be >= 1")
+    rng = random.Random(seed)
+    events: list[TwinEvent] = []
+    now = 0
+    next_id = 0
+    alive: list[int] = []  # ids that arrived and were not yet cancelled
+    windows: dict[int, tuple[int, int]] = {}
+    while len(events) < n_events:
+        roll = rng.random()
+        if roll < 0.45 or not alive:
+            p = rng.randint(1, p_max)
+            r = now + rng.randint(0, 3)
+            d = r + p + rng.randint(0, slack_max)
+            events.append(JobArrived(Job(id=next_id, release=r, deadline=d, processing=p)))
+            alive.append(next_id)
+            windows[next_id] = (r, d)
+            next_id += 1
+        elif roll < 0.70:
+            events.append(SlotTick(until=now + rng.randint(1, 3)))
+            now = events[-1].until
+        elif roll < 0.85:
+            jid = alive.pop(rng.randrange(len(alive)))
+            events.append(JobCancelled(job_id=jid))
+        else:
+            jid = alive[rng.randrange(len(alive))]
+            r, d = windows[jid]
+            if rng.random() < 0.5:
+                d += rng.randint(1, 3)  # deadline extension
+            else:
+                shift = rng.randint(1, 3)  # the whole window slips later
+                r += shift
+                d += shift + rng.randint(0, 2)
+            events.append(WindowSlipped(job_id=jid, release=r, deadline=d))
+            windows[jid] = (r, d)
+    return TwinTrace(
+        g=g,
+        events=tuple(events),
+        start=0,
+        name=name or f"random-seed{seed}",
+    )
+
+
+def count_kinds(events: Iterable[TwinEvent]) -> dict[str, int]:
+    """Histogram of event kinds (for reports and trace summaries)."""
+    out = {kind: 0 for kind in _EVENT_KINDS}
+    for event in events:
+        out[event.kind] += 1
+    return out

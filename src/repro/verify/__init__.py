@@ -16,11 +16,18 @@ from repro.verify.fuzz import (
     FuzzConfig,
     FuzzFailure,
     FuzzResult,
+    TwinFuzzConfig,
+    TwinFuzzResult,
     fuzz_report_dict,
     render_fuzz_result,
+    render_twin_fuzz_result,
     run_fuzz,
+    run_twin_fuzz,
     sample_instance,
+    twin_fuzz_report_dict,
+    twin_trace_for,
     write_fuzz_report,
+    write_twin_fuzz_report,
 )
 from repro.verify.oracle import OracleReport, verify_instance
 from repro.verify.properties import (
@@ -46,6 +53,8 @@ __all__ = [
     "OracleReport",
     "PROPERTY_NAMES",
     "ShrinkResult",
+    "TwinFuzzConfig",
+    "TwinFuzzResult",
     "Violation",
     "check_budget",
     "check_classification",
@@ -58,9 +67,14 @@ __all__ = [
     "fuzz_report_dict",
     "reference_round",
     "render_fuzz_result",
+    "render_twin_fuzz_result",
     "run_fuzz",
+    "run_twin_fuzz",
     "sample_instance",
     "shrink_instance",
+    "twin_fuzz_report_dict",
+    "twin_trace_for",
     "verify_instance",
     "write_fuzz_report",
+    "write_twin_fuzz_report",
 ]

@@ -357,6 +357,204 @@ def write_fuzz_report(result: FuzzResult, path: str | Path) -> None:
     Path(path).write_text(json.dumps(fuzz_report_dict(result), indent=2))
 
 
+# ---------------------------------------------------------------------------
+# Twin fuzzing: differential replay of random event traces
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TwinFuzzConfig:
+    """Parameters of one twin replay campaign.
+
+    Each trace is replayed through a ``differential`` twin session, so
+    every event's incremental repair is cross-checked against the
+    from-scratch flow path; the committed history is then audited by the
+    independent machine model, and the whole trace is replayed a second
+    time on the plain ``incremental`` backend to confirm the diff stream
+    is deterministic (and that the cross-checks are read-only).
+    """
+
+    n_traces: int = 20
+    n_events: int = 60
+    seed: int = 0
+    g_max: int = 4
+    p_max: int = 4
+    slack_max: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_traces < 1:
+            raise ValueError("n_traces must be >= 1")
+        if self.n_events < 1:
+            raise ValueError("n_events must be >= 1")
+        if self.g_max < 1:
+            raise ValueError("g_max must be >= 1")
+
+
+@dataclass
+class TwinFuzzResult:
+    """Outcome of :func:`run_twin_fuzz`."""
+
+    config: TwinFuzzConfig
+    traces: int = 0
+    events: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    committed_units: int = 0
+    mismatches: list[dict[str, Any]] = field(default_factory=list)
+    audit_failures: list[dict[str, Any]] = field(default_factory=list)
+    determinism_failures: list[dict[str, Any]] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    flow: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.mismatches or self.audit_failures or self.determinism_failures
+        )
+
+
+def twin_trace_for(config: TwinFuzzConfig, index: int):
+    """The ``index``-th trace of the campaign (pure function of config)."""
+    from repro.twin.events import random_trace
+
+    derived = (config.seed * 1_000_003 + index) & 0x7FFFFFFF
+    g = derived % config.g_max + 1
+    return random_trace(
+        config.n_events,
+        g,
+        seed=derived,
+        p_max=config.p_max,
+        slack_max=config.slack_max,
+        name=f"twin-fuzz-s{config.seed}-i{index}",
+    )
+
+
+def run_twin_fuzz(
+    config: TwinFuzzConfig,
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> TwinFuzzResult:
+    """Replay seeded random traces with every cross-check armed."""
+    from repro.flow.incremental import flow_stats, flow_stats_delta
+    from repro.simulate.machine import BatchMachine
+    from repro.twin import TwinSession, twin_fingerprint
+    from repro.twin.session import TwinMismatchError
+    from repro.util.errors import InvalidInstanceError
+
+    result = TwinFuzzResult(config=config)
+    flow_before = flow_stats()
+    t0 = time.perf_counter()
+    for index in range(config.n_traces):
+        trace = twin_trace_for(config, index)
+        session = TwinSession(
+            trace.g, start=trace.start, backend="differential"
+        )
+        diffs = []
+        broke = False
+        for event_index, event in enumerate(trace.events):
+            try:
+                diffs.append(session.apply(event))
+            except TwinMismatchError as exc:
+                result.mismatches.append(
+                    {
+                        "trace": index,
+                        "event_index": event_index,
+                        "error": str(exc),
+                    }
+                )
+                broke = True
+                break
+        result.traces += 1
+        result.events += len(diffs)
+        result.accepted += sum(1 for d in diffs if d.accepted)
+        result.rejected += sum(1 for d in diffs if not d.accepted)
+        result.committed_units += session.counters["committed_units"]
+        if broke:
+            if progress is not None:
+                progress(f"trace #{index}: MISMATCH at event {event_index}")
+            continue
+        try:
+            BatchMachine(trace.g).audit_twin(session)
+        except InvalidInstanceError as exc:
+            result.audit_failures.append({"trace": index, "error": str(exc)})
+            if progress is not None:
+                progress(f"trace #{index}: audit failed: {exc}")
+        replayed = TwinSession(
+            trace.g, start=trace.start, backend="incremental"
+        )
+        if twin_fingerprint(replayed.replay(trace)) != twin_fingerprint(diffs):
+            result.determinism_failures.append({"trace": index})
+            if progress is not None:
+                progress(f"trace #{index}: diff stream not deterministic")
+    result.wall_time_s = time.perf_counter() - t0
+    result.flow = flow_stats_delta(flow_stats(), flow_before)
+    return result
+
+
+def twin_fuzz_report_dict(result: TwinFuzzResult) -> dict[str, Any]:
+    """JSON-compatible campaign report (benchkit-style provenance)."""
+    from repro.benchkit.result import environment_fingerprint
+
+    config = result.config
+    return {
+        "schema_version": FUZZ_SCHEMA_VERSION,
+        "kind": "twin-fuzz-report",
+        "config": {
+            "n_traces": config.n_traces,
+            "n_events": config.n_events,
+            "seed": config.seed,
+            "g_max": config.g_max,
+            "p_max": config.p_max,
+            "slack_max": config.slack_max,
+        },
+        "traces": result.traces,
+        "events": result.events,
+        "accepted": result.accepted,
+        "rejected": result.rejected,
+        "committed_units": result.committed_units,
+        "n_mismatches": len(result.mismatches),
+        "n_audit_failures": len(result.audit_failures),
+        "n_determinism_failures": len(result.determinism_failures),
+        "ok": result.ok,
+        "mismatches": result.mismatches,
+        "audit_failures": result.audit_failures,
+        "determinism_failures": result.determinism_failures,
+        "wall_time_s": result.wall_time_s,
+        "flow": result.flow,
+        "environment": environment_fingerprint(),
+    }
+
+
+def write_twin_fuzz_report(result: TwinFuzzResult, path: str | Path) -> None:
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(twin_fuzz_report_dict(result), indent=2))
+
+
+def render_twin_fuzz_result(result: TwinFuzzResult) -> str:
+    """Multi-line human summary for the CLI."""
+    config = result.config
+    lines = [
+        f"twin-fuzz: traces={config.n_traces} events/trace={config.n_events} "
+        f"seed={config.seed} g_max={config.g_max}",
+        f"  replayed {result.events} events "
+        f"({result.accepted} accepted, {result.rejected} rejected, "
+        f"{result.committed_units} units committed) "
+        f"in {result.wall_time_s:.1f}s",
+    ]
+    for m in result.mismatches:
+        lines.append(
+            f"  MISMATCH trace #{m['trace']} event {m['event_index']}: "
+            f"{m['error']}"
+        )
+    for a in result.audit_failures:
+        lines.append(f"  AUDIT FAIL trace #{a['trace']}: {a['error']}")
+    for d in result.determinism_failures:
+        lines.append(f"  NON-DETERMINISTIC trace #{d['trace']}")
+    if result.ok:
+        lines.append("  all replays matched the from-scratch path")
+    return "\n".join(lines)
+
+
 def render_fuzz_result(result: FuzzResult) -> str:
     """Multi-line human summary for the CLI."""
     config = result.config

@@ -105,3 +105,45 @@ class TestInspect:
         )
         assert main(["inspect", str(path)]) == 0
         assert "not laminar" in capsys.readouterr().out
+
+
+class TestTwin:
+    def test_record_then_replay(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["twin", "record", str(trace), "--events", "40", "--g", "2",
+             "--seed", "6"]
+        ) == 0
+        assert "40 events" in capsys.readouterr().out
+        report = tmp_path / "replay.json"
+        assert main(
+            ["twin", "replay", str(trace), "--backend", "differential",
+             "--audit", "--report", str(report)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "diff-stream fingerprint:" in out
+        assert "machine audit: committed history is valid" in out
+        doc = json.loads(report.read_text())
+        assert len(doc["diffs"]) == 40
+
+    def test_record_from_instance(self, inst_path, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["twin", "record", str(trace), "--from-instance", inst_path]) == 0
+        assert main(["twin", "replay", str(trace), "--strict"]) == 0
+        assert "rejected" in capsys.readouterr().out
+
+    def test_replay_is_deterministic(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["twin", "record", str(trace), "--events", "30", "--seed", "9"])
+        prints = []
+        for _ in range(2):
+            assert main(["twin", "replay", str(trace)]) == 0
+            out = capsys.readouterr().out
+            prints.append(
+                next(ln for ln in out.splitlines() if "fingerprint" in ln)
+            )
+        assert prints[0] == prints[1]
+
+    def test_fuzz_smoke(self, capsys):
+        assert main(["twin", "fuzz", "--n-traces", "2", "--events", "25"]) == 0
+        assert "matched the from-scratch path" in capsys.readouterr().out

@@ -118,6 +118,44 @@ class TestMisuseGuards:
         with pytest.raises(ValueError, match="reverse edge"):
             net.edge_flow(eid + 1)
 
+    def test_drop_edge_detaches_flow_free_edge(self):
+        # Two parallel unit paths; cancel one path's flow, drop it, and
+        # the network behaves as if that path never existed.
+        net = MaxFlow(4)
+        a1 = net.add_edge(0, 1, 1)
+        a2 = net.add_edge(1, 3, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(2, 3, 1)
+        assert net.max_flow(0, 3) == 2
+        for eid in (a1, a2):  # cancel flow on the 0→1→3 path by hand
+            net.cap[eid] = net._initial_cap[eid]
+            net.cap[eid ^ 1] = 0.0
+        net.drop_edge(a1)
+        net.drop_edge(a2)
+        assert all(eid not in net.head[n] for n in range(4) for eid in (a1, a2))
+        assert net.augment(0, 3) == 0  # the dropped path is really gone
+
+    def test_drop_edge_refuses_flow_carrying_edge(self):
+        net = MaxFlow(2)
+        eid = net.add_edge(0, 1, 3)
+        net.max_flow(0, 1)
+        with pytest.raises(ValueError, match="still carries flow"):
+            net.drop_edge(eid)
+
+    def test_drop_edge_rejects_reverse_edge_id(self):
+        net = MaxFlow(2)
+        eid = net.add_edge(0, 1, 3)
+        with pytest.raises(ValueError, match="reverse edge"):
+            net.drop_edge(eid + 1)
+
+    def test_drop_edge_keeps_other_edge_ids_valid(self):
+        net = MaxFlow(3)
+        dead = net.add_edge(0, 1, 1)
+        live = net.add_edge(0, 2, 1)
+        net.drop_edge(dead)
+        assert net.max_flow(0, 2) == 1
+        assert net.edge_flow(live) == 1
+
     def test_augment_paths_counter(self):
         net = MaxFlow(4)
         net.add_edge(0, 1, 1)

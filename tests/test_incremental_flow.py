@@ -19,6 +19,7 @@ from repro.baselines.minimal_feasible import minimal_feasible_slots
 from repro.flow.incremental import (
     FLOW_BACKEND_ENV,
     DifferentialFlowProber,
+    DynamicFlowProber,
     FlowMismatchError,
     IncrementalFlow,
     get_flow_backend,
@@ -139,6 +140,86 @@ class TestIncrementalFlow:
         assert delta["units_repaired"] == 2
         assert delta["units_augmented"] == 4
         assert delta["augmenting_paths"] >= 2
+
+
+class TestDynamicFlowProber:
+    def test_arrival_open_probe_cycle(self):
+        prober = DynamicFlowProber(2, 0, 4)
+        prober.add_job(0, 2, 0, 4)
+        assert not prober.probe()  # no slots open yet
+        prober.set_open(1, True)
+        prober.set_open(2, True)
+        assert prober.probe()
+        assert prober.job_slots(0) == [1, 2]
+        assert prober.slot_jobs(1) == [0]
+
+    def test_remove_job_detaches_and_refeasibilizes(self):
+        prober = DynamicFlowProber(1, 0, 4)
+        prober.add_job(0, 2, 0, 2)
+        prober.add_job(1, 2, 0, 2)
+        prober.set_open(0, True)
+        prober.set_open(1, True)
+        assert not prober.probe()  # 4 units into 2 unit-capacity slots
+        prober.remove_job(1)
+        assert prober.probe()
+        assert prober.jobs() == [0]
+        assert prober.total == 2
+
+    def test_commit_slot_preserves_value_equals_total(self):
+        prober = DynamicFlowProber(1, 0, 4)
+        prober.add_job(0, 2, 0, 4)
+        prober.set_open(0, True)
+        prober.set_open(1, True)
+        assert prober.probe()
+        assert prober.commit_slot(0) == [0]
+        # No re-augmentation should be needed: the runner's volume came
+        # off the source side in lock-step with the slot closing.
+        assert prober.engine.value == prober.total == 1
+        assert prober.remaining(0) == 1
+        assert prober.probe()
+
+    def test_committed_slot_is_frozen(self):
+        prober = DynamicFlowProber(1, 0, 3)
+        prober.add_job(0, 1, 0, 3)
+        prober.set_open(0, True)
+        assert prober.probe()
+        prober.commit_slot(0)
+        with pytest.raises(ValueError, match="committed"):
+            prober.set_open(0, True)
+        with pytest.raises(ValueError, match="already committed"):
+            prober.commit_slot(0)
+        # A later arrival overlapping the frozen slot only gets edges to
+        # the live future slots.
+        prober.add_job(1, 1, 0, 3)
+        prober.set_open(1, True)
+        assert prober.probe()
+        assert prober.job_slots(1) == [1]
+
+    def test_window_slip_repairs_stranded_flow(self):
+        prober = DynamicFlowProber(1, 0, 8)
+        prober.add_job(0, 2, 0, 4)
+        prober.set_open(0, True)
+        prober.set_open(1, True)
+        assert prober.probe()
+        prober.set_window(0, 4, 8)  # both planned slots now outside
+        assert not prober.probe()
+        prober.set_open(4, True)
+        prober.set_open(5, True)
+        assert prober.probe()
+        assert prober.job_slots(0) == [4, 5]
+        assert prober.window(0) == (4, 8)
+
+    def test_guards(self):
+        with pytest.raises(ValueError, match="capacity g"):
+            DynamicFlowProber(0, 0, 4)
+        prober = DynamicFlowProber(1, 2, 4)
+        with pytest.raises(ValueError, match="precedes"):
+            prober.set_open(1, True)
+        prober.add_job(0, 1, 2, 4)
+        with pytest.raises(ValueError, match="already present"):
+            prober.add_job(0, 1, 2, 4)
+        with pytest.raises(ValueError, match="negative remaining"):
+            prober.set_remaining(0, -1)
 
 
 class TestBackendSelection:

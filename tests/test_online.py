@@ -9,6 +9,8 @@ from repro.instances.jobs import Instance
 from repro.online import (
     EagerActivation,
     LazyActivation,
+    OnlinePolicy,
+    TwinLookahead,
     competitive_ratio,
     run_online,
 )
@@ -86,6 +88,78 @@ class TestHarness:
         inst = random_general(7, 2, horizon=14, seed=4)
         run = run_online(inst, EagerActivation())
         assert run.schedule.is_valid
+
+
+class _ScriptedPolicy(OnlinePolicy):
+    """Test stub: replay a fixed slot → batch script."""
+
+    name = "scripted"
+
+    def __init__(self, script):
+        self.script = script
+
+    def decide(self, t, pending, future_slots, g):
+        return self.script.get(t)
+
+
+class TestHarnessGuards:
+    def test_bogus_job_id_names_policy_and_slot(self):
+        """A policy inventing a job id used to die with a bare KeyError;
+        the harness must instead say who returned what, where."""
+        inst = Instance.from_triples([(0, 4, 1)], g=1)
+        with pytest.raises(ValueError, match=r"'scripted'.*id 99 at slot 0"):
+            run_online(inst, _ScriptedPolicy({0: [99]}))
+
+    def test_zero_work_batch_is_not_an_activation(self):
+        """Powering a slot and then running nobody must not be charged:
+        activations has to match the schedule's active slots exactly."""
+        inst = Instance.from_triples([(0, 6, 1)], g=1)
+        script = {0: [0]}
+        script.update({t: [] for t in range(1, 6)})  # power on, run nobody
+        run = run_online(inst, _ScriptedPolicy(script))
+        assert run.activations == [0]
+        assert run.schedule.active_slots == (0,)
+        assert run.active_time == 1
+
+
+class TestTwinLookahead:
+    def test_twin_policy_on_simple_instance(self):
+        inst = Instance.from_triples([(0, 6, 1), (0, 6, 1)], g=2)
+        run = run_online(inst, TwinLookahead())
+        assert run.schedule.is_valid
+        assert run.active_time == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_twin_valid_or_documented_failure(self, seed):
+        inst = random_laminar(8, 2, horizon=18, seed=seed)
+        policy = TwinLookahead(backend="differential")
+        try:
+            run = run_online(inst, policy)
+        except InfeasibleInstanceError:
+            return  # the online impossibility, reported not crashed
+        assert run.schedule.is_valid
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_scattered_release_sweep(self, seed):
+        """Jobs trickling in one by one (the adversarial online shape):
+        every policy either finishes with a valid schedule or raises
+        InfeasibleInstanceError — never a stranded-job crash mid-replay."""
+        inst = random_general(9, 2, horizon=20, seed=seed + 500)
+        for policy in (EagerActivation(), LazyActivation(), TwinLookahead()):
+            try:
+                run = run_online(inst, policy)
+            except InfeasibleInstanceError:
+                continue
+            assert run.schedule.is_valid
+            assert run.activations == list(run.schedule.active_slots)
+
+    def test_reset_allows_replaying_another_instance(self):
+        policy = TwinLookahead()
+        a = Instance.from_triples([(0, 4, 2)], g=1)
+        b = Instance.from_triples([(0, 3, 1)], g=1)
+        assert run_online(a, policy).schedule.is_valid
+        policy.reset()
+        assert run_online(b, policy).schedule.is_valid
 
 
 class TestQuality:

@@ -29,11 +29,33 @@ def _load(name: str):
 
 class TestDataFiles:
     def test_all_files_parse(self):
+        import json
+
+        from repro.twin import load_trace
+
         files = sorted(DATA.glob("*.json"))
         assert len(files) >= 6
         for f in files:
-            inst = load_instance(f)
-            assert inst.n >= 1
+            if json.loads(f.read_text()).get("kind") == "twin-event-log":
+                assert len(load_trace(f)) >= 1
+            else:
+                inst = load_instance(f)
+                assert inst.n >= 1
+
+    def test_twin_smoke_trace_replays_clean(self):
+        """The committed CI trace replays differentially clean, audits
+        under the machine model, and keeps its diff-stream fingerprint
+        (a format or repair-behaviour change must update this pin)."""
+        from repro.simulate.machine import BatchMachine
+        from repro.twin import TwinSession, load_trace, twin_fingerprint
+
+        trace = load_trace(DATA / "twin_trace_smoke.json")
+        session = TwinSession(trace.g, start=trace.start, backend="differential")
+        diffs = session.replay(trace)
+        BatchMachine(trace.g).audit_twin(session)
+        assert twin_fingerprint(diffs) == (
+            "cad428f42b6452c694d0f69e33f11ee595203286409854587afbde58de1c6b77"
+        )
 
     def test_online_defer_trap(self):
         inst = _load("online_defer_trap.json")

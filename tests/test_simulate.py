@@ -44,6 +44,32 @@ class TestRun:
         assert sim.remaining[0] == 1
 
 
+class TestIdleGaps:
+    def test_gap_slots_emit_powered_off_events(self):
+        big = Instance.from_triples([(0, 6, 2)], g=1)
+        split = Schedule.from_assignment(big, {0: [0, 5]})
+        sim = BatchMachine(g=1).run(split)
+        # The trace covers the whole active span 0..5; the machine is a
+        # real (powered-down) state in the four middle slots.
+        assert [e.slot for e in sim.events] == [0, 1, 2, 3, 4, 5]
+        assert [e.powered for e in sim.events] == [True] + [False] * 4 + [True]
+        assert all(e.running == () for e in sim.events if not e.powered)
+
+    def test_idle_slots_cost_no_energy(self):
+        big = Instance.from_triples([(0, 6, 2)], g=1)
+        split = Schedule.from_assignment(big, {0: [0, 5]})
+        sim = BatchMachine(g=1, power_per_slot=2.0).run(split)
+        assert sim.active_slots == 2  # powered slots only
+        assert sim.energy == pytest.approx(4.0)
+        assert sim.utilization(1) == pytest.approx(1.0)
+
+    def test_empty_schedule_has_empty_trace(self):
+        inst = Instance(jobs=(), g=1)
+        sim = BatchMachine(g=1).run(Schedule.from_assignment(inst, {}))
+        assert sim.events == []
+        assert sim.active_slots == 0
+
+
 class TestViolations:
     def test_capacity_mismatch(self, inst):
         sched = Schedule.from_assignment(inst, {0: [0, 2], 1: [0], 2: [2]})
@@ -79,6 +105,39 @@ class TestViolations:
     def test_bad_capacity_rejected(self):
         with pytest.raises(InvalidInstanceError):
             BatchMachine(g=0)
+
+
+class TestTwinAudit:
+    def test_audit_accepts_clean_session(self):
+        from repro.twin import TwinSession, trace_from_instance
+
+        inst = Instance.from_triples([(0, 4, 2), (0, 2, 1), (2, 4, 1)], g=2)
+        session = TwinSession(2)
+        session.replay(trace_from_instance(inst), strict=True)
+        sim = BatchMachine(g=2).audit_twin(session)
+        assert sim.all_finished
+        assert sim.active_slots == len(session.committed_slots)
+        assert sim.total_units == session.counters["committed_units"]
+
+    def test_audit_rejects_capacity_mismatch(self):
+        from repro.twin import TwinSession
+
+        with pytest.raises(InvalidInstanceError, match="capacity"):
+            BatchMachine(g=1).audit_twin(TwinSession(2))
+
+    def test_audit_catches_tampered_history(self):
+        from repro.twin import JobArrived, SlotTick, TwinSession
+        from repro.instances.jobs import Job
+
+        session = TwinSession(1)
+        session.apply(JobArrived(Job(id=0, release=0, deadline=2, processing=1)))
+        session.apply(SlotTick(until=2))
+        (slot,) = session.committed_slots
+        # Forge a duplicate run into the executed trace; the independent
+        # audit must refuse what the twin's own bookkeeping would miss.
+        session._history[slot] = (0, 0)
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            BatchMachine(g=1).audit_twin(session)
 
 
 class TestIntegrationWithSolver:

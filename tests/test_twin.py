@@ -1,0 +1,253 @@
+"""Tests for the rescheduling digital twin (:mod:`repro.twin`)."""
+
+import json
+
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.instances.generators import random_laminar
+from repro.instances.jobs import Instance, Job
+from repro.simulate.machine import BatchMachine
+from repro.twin import (
+    JobArrived,
+    JobCancelled,
+    SlotTick,
+    TwinSession,
+    TwinTrace,
+    WindowSlipped,
+    count_kinds,
+    dump_trace,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+    random_trace,
+    trace_from_instance,
+    twin_fingerprint,
+)
+from repro.util.errors import InfeasibleInstanceError, InvalidInstanceError
+from repro.verify.fuzz import TwinFuzzConfig, run_twin_fuzz
+
+BACKENDS = ("incremental", "cold", "differential")
+
+
+class TestEvents:
+    def test_event_round_trip(self):
+        events = [
+            JobArrived(Job(id=3, release=1, deadline=5, processing=2)),
+            JobCancelled(job_id=3),
+            WindowSlipped(job_id=3, release=2, deadline=7),
+            SlotTick(until=4),
+        ]
+        for event in events:
+            assert event_from_dict(event_to_dict(event)) == event
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown twin event"):
+            event_from_dict({"type": "job_teleported"})
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="malformed"):
+            event_from_dict({"type": "slot_tick"})  # missing "until"
+
+    def test_trace_file_round_trip(self, tmp_path):
+        trace = random_trace(30, 2, seed=7, name="rt")
+        path = tmp_path / "trace.json"
+        dump_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded == trace
+        assert loaded.name == "rt"
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "twin-event-log"
+
+    def test_random_trace_is_pure(self):
+        a = random_trace(40, 3, seed=11)
+        b = random_trace(40, 3, seed=11)
+        assert a == b
+        assert random_trace(40, 3, seed=12) != a
+
+    def test_count_kinds_partitions_trace(self):
+        trace = random_trace(50, 2, seed=3)
+        counts = count_kinds(trace.events)
+        assert sum(counts.values()) == len(trace) == 50
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            TwinTrace(g=0, events=())
+
+
+class TestSessionBasics:
+    def test_arrival_plans_complete_schedule(self):
+        session = TwinSession(2)
+        diff = session.apply(JobArrived(Job(id=0, release=0, deadline=4, processing=2)))
+        assert diff.accepted
+        assert session.active_time == 2
+        assert len(session.planned_assignment()[0]) == 2
+        session.planned_schedule()  # validates internally
+
+    def test_tick_commits_and_finishes(self):
+        session = TwinSession(1)
+        session.apply(JobArrived(Job(id=0, release=0, deadline=2, processing=2)))
+        diff = session.apply(SlotTick(until=2))
+        assert diff.accepted
+        assert [t for t, _ in diff.committed] == [0, 1]
+        assert session.job_view(0).status == "finished"
+        assert session.active_time == 2
+        assert session.history() == {0: (0,), 1: (0,)}
+
+    def test_cancellation_releases_slots(self):
+        session = TwinSession(1)
+        session.apply(JobArrived(Job(id=0, release=0, deadline=6, processing=3)))
+        assert session.active_time == 3
+        diff = session.apply(JobCancelled(job_id=0))
+        assert diff.accepted
+        assert session.active_time == 0
+        assert session.job_view(0).status == "cancelled"
+
+    def test_slip_moves_plan(self):
+        session = TwinSession(1)
+        session.apply(JobArrived(Job(id=0, release=0, deadline=3, processing=1)))
+        diff = session.apply(WindowSlipped(job_id=0, release=5, deadline=8))
+        assert diff.accepted
+        (slot,) = session.planned_assignment()[0]
+        assert 5 <= slot < 8
+
+    def test_duplicate_arrival_raises(self):
+        session = TwinSession(1)
+        job = Job(id=0, release=0, deadline=4, processing=1)
+        session.apply(JobArrived(job))
+        with pytest.raises(ValueError, match="duplicate arrival"):
+            session.apply(JobArrived(job))
+
+    def test_unknown_ids_raise(self):
+        session = TwinSession(1)
+        with pytest.raises(ValueError, match="unknown job id"):
+            session.apply(JobCancelled(job_id=9))
+        with pytest.raises(ValueError, match="unknown job id"):
+            session.apply(WindowSlipped(job_id=9, release=0, deadline=4))
+
+    def test_backwards_tick_raises(self):
+        session = TwinSession(1, start=5)
+        with pytest.raises(ValueError, match="backwards"):
+            session.apply(SlotTick(until=3))
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            TwinSession(1, backend="psychic")
+
+
+class TestAdmissionControl:
+    def test_late_arrival_window_rejected(self):
+        # The job's own window is fine, but the session clock has already
+        # passed most of it: the clamped window cannot hold the work.
+        session = TwinSession(1, start=1)
+        diff = session.apply(
+            JobArrived(Job(id=0, release=0, deadline=2, processing=2))
+        )
+        assert not diff.accepted
+        assert "cannot hold" in diff.detail
+        assert session.active_time == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_overload_rejected_state_unchanged(self, backend):
+        session = TwinSession(1, backend=backend)
+        session.apply(JobArrived(Job(id=0, release=0, deadline=2, processing=2)))
+        plan_before = session.planned_assignment()
+        diff = session.apply(
+            JobArrived(Job(id=1, release=0, deadline=2, processing=1))
+        )
+        assert not diff.accepted
+        assert session.planned_assignment() == plan_before
+        assert session.counters["rejected"] == 1
+
+    def test_strict_raises_on_rejection(self):
+        session = TwinSession(1, start=1)
+        with pytest.raises(InfeasibleInstanceError):
+            session.apply(
+                JobArrived(Job(id=0, release=0, deadline=2, processing=2)),
+                strict=True,
+            )
+
+    def test_infeasible_slip_rejected_window_kept(self):
+        session = TwinSession(1)
+        session.apply(JobArrived(Job(id=0, release=0, deadline=6, processing=3)))
+        diff = session.apply(WindowSlipped(job_id=0, release=4, deadline=6))
+        assert not diff.accepted
+        assert session.job_view(0).window == (0, 6)
+
+    def test_rejected_id_followups_are_noops(self):
+        """Cancel/slip aimed at a rejected arrival must not crash replay."""
+        session = TwinSession(1, start=1)
+        session.apply(JobArrived(Job(id=7, release=0, deadline=2, processing=2)))
+        cancel = session.apply(JobCancelled(job_id=7))
+        slip = session.apply(WindowSlipped(job_id=7, release=0, deadline=9))
+        assert cancel.accepted and "rejected at arrival" in cancel.detail
+        assert slip.accepted and "rejected at arrival" in slip.detail
+        assert session.active_time == 0
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_static_instance_anchor(self, seed):
+        """On a batch workload every backend plans a valid schedule with
+        the same active time, and the offline exact solver lower-bounds it."""
+        inst = random_laminar(8, 2, horizon=18, seed=seed + 70)
+        times = set()
+        for backend in BACKENDS:
+            try:
+                session = TwinSession.from_instance(inst, backend=backend)
+            except InfeasibleInstanceError:
+                pytest.skip("offline-infeasible draw")
+            session.planned_schedule()
+            times.add(session.active_time)
+        assert len(times) == 1
+        assert times.pop() >= solve_exact(inst).optimum
+
+    def test_from_instance_replay_completes_all_work(self):
+        inst = Instance.from_triples([(0, 4, 2), (0, 2, 1), (2, 4, 1)], g=2)
+        trace = trace_from_instance(inst)
+        session = TwinSession(trace.g, start=trace.start, backend="differential")
+        session.replay(trace, strict=True)
+        assert all(r.status == "finished" for r in session.jobs())
+        assert session.counters["committed_units"] == 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_differential_replay_clean(self, seed):
+        """Random dynamic traces replay with every event cross-checked
+        against the from-scratch flow path — zero mismatches."""
+        trace = random_trace(50, 3, seed=seed + 100)
+        session = TwinSession(trace.g, backend="differential")
+        diffs = session.replay(trace)
+        assert len(diffs) == 50
+        assert session.counters["cross_checks"] == 50
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_replay_deterministic_across_backends(self, seed):
+        """The diff stream is a pure function of the event log, and the
+        differential backend's extra checking never changes it."""
+        trace = random_trace(45, 2, seed=seed + 200)
+        fingerprints = set()
+        for backend in ("incremental", "differential"):
+            for _ in range(2):
+                session = TwinSession(trace.g, backend=backend)
+                fingerprints.add(twin_fingerprint(session.replay(trace)))
+        assert len(fingerprints) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_machine_audits_committed_history(self, seed):
+        trace = random_trace(60, 3, seed=seed + 300)
+        session = TwinSession(trace.g, backend="incremental")
+        session.replay(trace)
+        sim = BatchMachine(trace.g).audit_twin(session)
+        assert sim.active_slots == len(session.committed_slots)
+
+
+class TestTwinFuzz:
+    def test_small_campaign_clean(self):
+        result = run_twin_fuzz(TwinFuzzConfig(n_traces=3, n_events=30, seed=5))
+        assert result.ok
+        assert result.events == 90
+        assert result.traces == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TwinFuzzConfig(n_traces=0)
