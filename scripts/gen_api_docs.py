@@ -11,8 +11,9 @@ from pathlib import Path
 PACKAGES = [
     "repro", "repro.instances", "repro.tree", "repro.flow", "repro.lp",
     "repro.solver", "repro.core", "repro.baselines", "repro.hardness",
-    "repro.analysis", "repro.simulate", "repro.twin", "repro.multiinterval",
-    "repro.online", "repro.busytime", "repro.verify", "repro.util",
+    "repro.analysis", "repro.corpus", "repro.simulate", "repro.twin",
+    "repro.multiinterval", "repro.online", "repro.busytime", "repro.verify",
+    "repro.util",
 ]
 
 

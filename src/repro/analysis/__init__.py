@@ -10,7 +10,7 @@ from repro.analysis.metrics import (
     RatioRow,
     measure_ratios,
 )
-from repro.analysis.parallel import register_task, run_battery
+from repro.analysis.parallel import register_task, run_battery, stream_battery
 from repro.analysis.tables import print_table, render_table
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "seeded_recipe",
     "AdversarialHit",
     "run_battery",
+    "stream_battery",
     "register_task",
     "print_table",
 ]

@@ -8,6 +8,16 @@ crosses the process boundary.  The in-process short-circuit
 (``max_workers=1`` or a single instance) skips the serialization
 round-trip entirely.
 
+Two fan-out shapes:
+
+* :func:`run_battery` — a materialized sequence of instances, one pool
+  round-trip per instance (or per chunk with ``chunk_instances``);
+* :func:`stream_battery` — an *iterable* of instances (a corpus stream,
+  a generator) consumed lazily: instances are grouped into chunks, each
+  chunk crosses the process boundary as one pickled payload, and at most
+  a bounded window of chunks is in flight — so a million-instance corpus
+  sweep holds ``O(window · chunk)`` instances in memory, not the corpus.
+
 A failing task raises :class:`~repro.util.errors.BatteryTaskError`
 naming the task and the offending instance (name and battery index), so
 a crash in a large sweep is attributable; the original exception is
@@ -18,9 +28,11 @@ result dict under ``"solver_stats"``.
 
 from __future__ import annotations
 
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from importlib import import_module
-from typing import Any, Callable, Sequence
+from itertools import islice
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.instances.io import instance_from_dict, instance_to_dict
 from repro.instances.jobs import Instance
@@ -86,6 +98,16 @@ def _task_gaps(instance: Instance) -> dict[str, Any]:
     return out
 
 
+@register_task("profile")
+def _task_profile(instance: Instance) -> dict[str, Any]:
+    """Near-free shape metrics; isolates instance-supply cost (E17)."""
+    return {
+        "n": instance.n,
+        "volume": sum(j.processing for j in instance.jobs),
+        "horizon": instance.horizon.length,
+    }
+
+
 def _run_task(
     task_name: str, instance: Instance, index: int, collect_stats: bool
 ) -> dict[str, Any]:
@@ -118,12 +140,24 @@ def _worker(payload: tuple[str, dict, int, bool]) -> dict[str, Any]:
     return _run_task(task_name, instance_from_dict(doc), index, collect_stats)
 
 
+def _chunk_worker(
+    payload: tuple[str, list[tuple[dict, int]], bool]
+) -> list[dict[str, Any]]:
+    """Process one chunk of (doc, index) pairs in a single round-trip."""
+    task_name, chunk, collect_stats = payload
+    return [
+        _run_task(task_name, instance_from_dict(doc), index, collect_stats)
+        for doc, index in chunk
+    ]
+
+
 def run_battery(
     instances: Sequence[Instance],
     task: str,
     *,
     max_workers: int | None = None,
     chunksize: int = 1,
+    chunk_instances: int | None = None,
     collect_stats: bool = False,
 ) -> list[dict[str, Any]]:
     """Run a registered task over instances with a process pool.
@@ -135,7 +169,23 @@ def run_battery(
     ``"solver_stats"`` key: the solver service counters attributable to
     that instance (a snapshot delta, valid both in-process and per
     worker process).
+
+    ``chunk_instances=k`` switches to the chunked transport of
+    :func:`stream_battery` (one pickled payload per ``k`` instances
+    instead of one per instance) — same results, same order, same error
+    semantics; the per-instance path stays the default so existing
+    callers are untouched.
     """
+    if chunk_instances is not None:
+        return list(
+            stream_battery(
+                instances,
+                task,
+                chunk_instances=chunk_instances,
+                max_workers=max_workers,
+                collect_stats=collect_stats,
+            )
+        )
     if task not in _TASKS:
         raise ValueError(f"unknown task {task!r}; have {sorted(_TASKS)}")
     if max_workers == 1 or len(instances) <= 1:
@@ -149,6 +199,79 @@ def run_battery(
     ]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(_worker, payloads, chunksize=chunksize))
+
+
+def _chunked(
+    instances: Iterable[Instance], size: int
+) -> Iterator[list[tuple[dict, int]]]:
+    """Lazily group an instance stream into serialized (doc, index) chunks."""
+    iterator = iter(instances)
+    index = 0
+    while True:
+        block = list(islice(iterator, size))
+        if not block:
+            return
+        chunk = [
+            (instance_to_dict(inst), index + k)
+            for k, inst in enumerate(block)
+        ]
+        index += len(block)
+        yield chunk
+
+
+def stream_battery(
+    instances: Iterable[Instance],
+    task: str,
+    *,
+    chunk_instances: int = 64,
+    max_workers: int | None = None,
+    inflight_chunks: int | None = None,
+    collect_stats: bool = False,
+) -> Iterator[dict[str, Any]]:
+    """Stream a registered task over an *iterable* of instances.
+
+    The corpus-scale sibling of :func:`run_battery`: the input is
+    consumed lazily (pair it with
+    :func:`repro.corpus.iter_corpus` to sweep a persistent corpus), each
+    chunk of ``chunk_instances`` crosses the pool boundary as one
+    payload, and at most ``inflight_chunks`` (default ``2 ×`` the pool
+    width) chunks are submitted ahead of the consumer — memory stays
+    bounded no matter how large the corpus.  Results are yielded in
+    input order with semantics identical to :func:`run_battery`,
+    including :class:`~repro.util.errors.BatteryTaskError` context and
+    ``collect_stats`` deltas.
+
+    ``max_workers=1`` short-circuits to in-process streaming (no
+    serialization, no pool), which is also the deterministic-timing path
+    the E17 benchmark measures.
+    """
+    if task not in _TASKS:
+        raise ValueError(f"unknown task {task!r}; have {sorted(_TASKS)}")
+    if chunk_instances < 1:
+        raise ValueError("chunk_instances must be >= 1")
+
+    if max_workers == 1:
+        for index, inst in enumerate(instances):
+            yield _run_task(task, inst, index, collect_stats)
+        return
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        window = inflight_chunks or 2 * (pool._max_workers or 1)
+        pending: deque = deque()
+        chunks = _chunked(instances, chunk_instances)
+        exhausted = False
+        while True:
+            while not exhausted and len(pending) < window:
+                chunk = next(chunks, None)
+                if chunk is None:
+                    exhausted = True
+                    break
+                pending.append(
+                    pool.submit(_chunk_worker, (task, chunk, collect_stats))
+                )
+            if not pending:
+                return
+            yield from pending.popleft().result()
 
 
 def resolve_worker(spec: str) -> Callable[[Any], Any]:

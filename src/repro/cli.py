@@ -9,6 +9,9 @@ Subcommands
 ``inspect``    canonical window tree, lengths and OPT_i thresholds
 ``bench``      benchmark harness passthrough (``repro.benchkit``)
 ``fuzz``       differential fuzzing: random instances through the oracle
+               (corpus-backed, shardable ``--shard i/n``, resumable
+               ``--resume``, shard-report merging ``--merge``)
+``corpus``     persistent instance corpus: build / stat
 ``twin``       rescheduling digital twin: record/replay event traces, fuzz
 """
 
@@ -176,15 +179,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.verify.fuzz import (
         FuzzConfig,
+        merge_fuzz_reports,
         render_fuzz_result,
         run_fuzz,
         write_fuzz_report,
     )
 
+    if args.merge:
+        docs = []
+        for path in args.merge:
+            with open(path) as fh:
+                docs.append(_json.load(fh))
+        merged = merge_fuzz_reports(docs)
+        print(
+            f"merged {len(docs)} shard report(s): checked={merged['checked']} "
+            f"skipped={merged['skipped_infeasible']} "
+            f"failures={merged['n_failures']} ok={merged['ok']}"
+        )
+        if args.report:
+            with open(args.report, "w") as fh:
+                _json.dump(merged, fh, indent=2)
+            print(f"wrote {args.report}")
+        return 0 if merged["ok"] else 1
+
+    n_instances = args.n_instances
+    if n_instances is None:
+        if args.corpus:
+            from repro.corpus import read_manifest
+
+            n_instances = read_manifest(args.corpus)["entries"]
+        else:
+            n_instances = 100
+    shard_index, shard_count = 0, 1
+    if args.shard:
+        from repro.corpus import parse_shard
+
+        shard_index, shard_count = parse_shard(args.shard)
     config = FuzzConfig(
-        n_instances=args.n_instances,
+        n_instances=n_instances,
         seed=args.seed,
         family=args.family,
         max_jobs=args.max_jobs,
@@ -192,13 +228,53 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=args.shrink,
         backend=args.backend,
         flow_backend=args.flow_backend,
+        corpus=args.corpus,
+        shard_index=shard_index,
+        shard_count=shard_count,
     )
-    result = run_fuzz(config, out_dir=args.out, progress=print)
+    result = run_fuzz(
+        config, out_dir=args.out, progress=print, checkpoint=args.resume
+    )
     print(render_fuzz_result(result))
     if args.report:
         write_fuzz_report(result, args.report)
         print(f"wrote {args.report}")
     return 0 if result.ok else 1
+
+
+def _cmd_corpus_build(args: argparse.Namespace) -> int:
+    from repro.corpus import build_fuzz_corpus
+    from repro.verify.fuzz import FuzzConfig
+
+    config = FuzzConfig(
+        n_instances=args.n_instances,
+        seed=args.seed,
+        family=args.family,
+        max_jobs=args.max_jobs,
+    )
+    build_fuzz_corpus(args.output, config, progress=print)
+    return 0
+
+
+def _cmd_corpus_stat(args: argparse.Namespace) -> int:
+    from repro.corpus import corpus_stats
+
+    stats = corpus_stats(args.corpus)
+    rows = [
+        ["entries", stats["entries"]],
+        ["total jobs", stats["total_jobs"]],
+        ["corpus digest", stats["corpus_digest"][:16]],
+    ]
+    rows += [[f"family {k}", v] for k, v in stats["families"].items()]
+    rows += [[f"meta {k}", v] for k, v in sorted(stats["meta"].items())]
+    print(
+        render_table(
+            ["stat", "value"], rows,
+            title=f"corpus {stats['path']} (schema v{stats['schema_version']})",
+        )
+    )
+    print("all entries verified against their content hashes")
+    return 0
 
 
 def _cmd_twin_record(args: argparse.Namespace) -> int:
@@ -374,7 +450,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz",
         help="differential fuzzing of the pipeline against oracle properties",
     )
-    fuzz.add_argument("--n-instances", type=int, default=100)
+    fuzz.add_argument(
+        "--n-instances",
+        type=int,
+        default=None,
+        help="campaign size (default: 100, or the whole corpus with "
+        "--corpus)",
+    )
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument(
         "--family",
@@ -415,7 +497,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for shrunk counterexample JSON files",
     )
     fuzz.add_argument("--report", help="write a JSON campaign report here")
+    fuzz.add_argument(
+        "--corpus",
+        help="stream instances from this corpus directory (see `corpus "
+        "build`) instead of regenerating them",
+    )
+    fuzz.add_argument(
+        "--shard",
+        metavar="I/N",
+        help="run shard I of N (instance index %% N == I); the union of "
+        "all N shards is exactly the unsharded campaign",
+    )
+    fuzz.add_argument(
+        "--resume",
+        metavar="CHECKPOINT",
+        help="persist progress to (and resume from) this checkpoint file; "
+        "a rerun after a kill reproduces the identical result",
+    )
+    fuzz.add_argument(
+        "--merge",
+        nargs="+",
+        metavar="REPORT",
+        help="merge per-shard campaign reports into one (exit status "
+        "reflects the merged verdict); use with --report",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="persistent instance corpus for batteries and fuzz campaigns",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    cbuild = corpus_sub.add_parser(
+        "build", help="materialize a fuzz campaign's instances into a corpus"
+    )
+    cbuild.add_argument("output", help="corpus directory (created/extended)")
+    cbuild.add_argument("--n-instances", type=int, default=500)
+    cbuild.add_argument("--seed", type=int, default=0)
+    cbuild.add_argument(
+        "--family",
+        default="mixed",
+        choices=["laminar", "general", "tight", "mixed"],
+    )
+    cbuild.add_argument("--max-jobs", type=int, default=12)
+    cbuild.set_defaults(func=_cmd_corpus_build)
+
+    cstat = corpus_sub.add_parser(
+        "stat", help="verify a corpus end to end and print its stats"
+    )
+    cstat.add_argument("corpus", help="corpus directory")
+    cstat.set_defaults(func=_cmd_corpus_stat)
 
     twin = sub.add_parser(
         "twin",

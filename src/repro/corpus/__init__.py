@@ -1,0 +1,38 @@
+"""Persistent instance corpus: the scale substrate for batteries and fuzzing.
+
+See :mod:`repro.corpus.store` for the on-disk format (append-only JSONL
+entries keyed by ``(family, seed, index)``, content-addressed by SHA-256,
+plus a manifest) and :mod:`repro.corpus.build` for materializing a fuzz
+campaign's instance stream into a corpus.  Consumers stream entries with
+:func:`iter_corpus` — nothing ever materializes a whole corpus.
+"""
+
+from repro.corpus.build import build_fuzz_corpus
+from repro.corpus.store import (
+    CORPUS_SCHEMA_VERSION,
+    CorpusEntry,
+    CorpusKey,
+    CorpusWriter,
+    canonical_json,
+    content_digest,
+    corpus_stats,
+    iter_corpus,
+    parse_shard,
+    read_manifest,
+)
+from repro.util.errors import CorpusError
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "CorpusEntry",
+    "CorpusError",
+    "CorpusKey",
+    "CorpusWriter",
+    "build_fuzz_corpus",
+    "canonical_json",
+    "content_digest",
+    "corpus_stats",
+    "iter_corpus",
+    "parse_shard",
+    "read_manifest",
+]

@@ -15,8 +15,10 @@ from repro.util.intervals import (
     is_laminar,
 )
 from repro.util.numeric import EPS, snap, snap_vector
+from repro.util.seeds import derive_seed
 
 __all__ = [
+    "derive_seed",
     "ReproError",
     "InvalidInstanceError",
     "InfeasibleInstanceError",

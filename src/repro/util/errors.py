@@ -112,6 +112,34 @@ class IntegralityError(SolverError):
         self.value = value
 
 
+class CorpusError(ReproError):
+    """A persistent instance corpus is unreadable, corrupted, or misused.
+
+    Raised (instead of bare ``json``/``KeyError`` crashes) when a corpus
+    directory is missing its manifest, an entry line is truncated or not
+    valid JSON, an entry's content hash does not match its payload, or a
+    campaign is pointed at a corpus built under a different key scheme.
+
+    Attributes
+    ----------
+    path:
+        The corpus directory (or file inside it) that failed, when known.
+    offset:
+        Zero-based ordinal of the offending entry line, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
 class BatteryTaskError(ReproError):
     """A ``run_battery`` worker task failed on a specific instance.
 

@@ -18,12 +18,17 @@ from repro.verify.fuzz import (
     FuzzResult,
     TwinFuzzConfig,
     TwinFuzzResult,
+    campaign_family,
+    campaign_instances,
     fuzz_report_dict,
+    load_checkpoint,
+    merge_fuzz_reports,
     render_fuzz_result,
     render_twin_fuzz_result,
     run_fuzz,
     run_twin_fuzz,
     sample_instance,
+    stable_fuzz_report,
     twin_fuzz_report_dict,
     twin_trace_for,
     write_fuzz_report,
@@ -64,7 +69,12 @@ __all__ = [
     "check_sandwich",
     "check_schedule",
     "check_transform",
+    "campaign_family",
+    "campaign_instances",
     "fuzz_report_dict",
+    "load_checkpoint",
+    "merge_fuzz_reports",
+    "stable_fuzz_report",
     "reference_round",
     "render_fuzz_result",
     "render_twin_fuzz_result",

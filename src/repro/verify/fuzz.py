@@ -25,8 +25,26 @@ Families
     Round-robin over the three above (the default).
 
 Determinism: every instance's seed is derived from ``(campaign seed,
-index)``, so a campaign is reproducible and any single failing index can
-be regenerated in isolation.
+index)`` via the shared :func:`repro.util.seeds.derive_seed` helper, so
+a campaign is reproducible, any single failing index can be regenerated
+in isolation, and a corpus built at the same seed holds the *same*
+instances under the same keys.
+
+Scale features (corpus-backed campaigns):
+
+* ``FuzzConfig.corpus`` streams instances from a persistent
+  :mod:`repro.corpus` store instead of regenerating them (the manifest
+  is checked against the campaign seed/family/caps, and every entry key
+  is checked against :func:`~repro.util.seeds.derive_seed` — key drift
+  is a hard error, not silent wrong coverage);
+* ``FuzzConfig.shard_index / shard_count`` deterministically split one
+  campaign across CI jobs or machines (instance ``index % count ==
+  shard_index``); the union of all shards is exactly the unsharded
+  campaign and :func:`merge_fuzz_reports` reassembles their reports;
+* ``run_fuzz(..., checkpoint=path)`` makes a campaign resumable: the
+  loop persists progress (keyed by campaign offsets) every
+  ``checkpoint_every`` instances, and a rerun after a mid-campaign kill
+  fast-forwards and reproduces the identical result.
 """
 
 from __future__ import annotations
@@ -36,9 +54,10 @@ import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.instances.jobs import Instance
+from repro.util.seeds import derive_seed
 from repro.verify.oracle import (
     DEFAULT_EXACT_MAX_JOBS,
     OracleReport,
@@ -48,7 +67,12 @@ from repro.verify.shrinker import shrink_instance
 
 #: Schema marker for fuzz reports (separate from BenchResult's schema —
 #: fuzz campaigns are not benchmarks and carry no ``bench_id``).
-FUZZ_SCHEMA_VERSION = 1
+#: v2: config block gained ``corpus`` / ``shard_index`` / ``shard_count``.
+FUZZ_SCHEMA_VERSION = 2
+
+#: Schema marker for resume checkpoints written by :func:`run_fuzz` /
+#: :func:`run_twin_fuzz`.
+CHECKPOINT_SCHEMA_VERSION = 1
 
 FAMILIES = ("laminar", "general", "tight", "mixed")
 
@@ -70,6 +94,14 @@ class FuzzConfig:
     #: cross-check of the incremental engine against the from-scratch
     #: path — any disagreement surfaces as a ``crash`` violation.
     flow_backend: str | None = None
+    #: Path to a :mod:`repro.corpus` directory to stream instances from
+    #: instead of regenerating them; ``None`` keeps on-the-fly sampling.
+    corpus: str | None = None
+    #: Deterministic campaign split: this process handles the instances
+    #: with ``index % shard_count == shard_index``.  The default
+    #: ``0/1`` is the unsharded campaign.
+    shard_index: int = 0
+    shard_count: int = 1
 
     def __post_init__(self) -> None:
         from repro.flow.incremental import FLOW_BACKENDS
@@ -89,6 +121,11 @@ class FuzzConfig:
             raise ValueError("n_instances must be >= 1")
         if self.max_jobs < 1:
             raise ValueError("max_jobs must be >= 1")
+        if self.shard_count < 1 or not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"invalid shard {self.shard_index}/{self.shard_count}: "
+                "need 0 <= shard_index < shard_count"
+            )
 
 
 @dataclass
@@ -190,14 +227,81 @@ _SAMPLERS: dict[str, Callable[[random.Random, int, int], Instance]] = {
 }
 
 
+def campaign_family(family: str, index: int) -> str:
+    """The concrete family of campaign item ``index`` (mixed rotates)."""
+    return FAMILIES[index % 3] if family == "mixed" else family
+
+
 def sample_instance(config: FuzzConfig, index: int) -> Instance:
     """The ``index``-th instance of the campaign (pure function of config)."""
-    derived = (config.seed * 1_000_003 + index) & 0x7FFFFFFF
+    derived = derive_seed(config.seed, index)
     rng = random.Random(derived)
-    family = config.family
-    if family == "mixed":
-        family = FAMILIES[index % 3]
+    family = campaign_family(config.family, index)
     return _SAMPLERS[family](rng, derived, config.max_jobs)
+
+
+def campaign_instances(
+    config: FuzzConfig,
+) -> Iterator[tuple[int, str, Instance]]:
+    """Stream the campaign's ``(index, family, instance)`` triples.
+
+    Honours ``config.corpus`` (persistent store instead of regeneration)
+    and the shard split; both paths yield *identical* triples for the
+    indices they cover, which is what makes corpora, shards, and
+    regenerating campaigns interchangeable.
+    """
+    if config.corpus is None:
+        for index in range(config.n_instances):
+            if index % config.shard_count != config.shard_index:
+                continue
+            yield index, campaign_family(config.family, index), (
+                sample_instance(config, index)
+            )
+        return
+
+    from repro.corpus.store import iter_corpus, read_manifest
+    from repro.util.errors import CorpusError
+
+    manifest = read_manifest(config.corpus)
+    meta = manifest.get("meta", {})
+    for key, want in (
+        ("campaign_seed", config.seed),
+        ("family", config.family),
+        ("max_jobs", config.max_jobs),
+    ):
+        have = meta.get(key)
+        if have is not None and have != want:
+            raise CorpusError(
+                f"corpus at {config.corpus} was built with {key}={have!r} "
+                f"but the campaign wants {want!r} — rebuild the corpus or "
+                "fix the campaign config",
+                path=str(config.corpus),
+            )
+    if manifest["entries"] < config.n_instances:
+        raise CorpusError(
+            f"corpus at {config.corpus} holds {manifest['entries']} "
+            f"entries but the campaign wants {config.n_instances}",
+            path=str(config.corpus),
+        )
+    shard = (
+        (config.shard_index, config.shard_count)
+        if config.shard_count > 1
+        else None
+    )
+    for entry in iter_corpus(
+        config.corpus, shard=shard, limit=config.n_instances
+    ):
+        expected_seed = derive_seed(config.seed, entry.key.index)
+        if entry.key.seed != expected_seed or entry.key.index != entry.offset:
+            raise CorpusError(
+                f"corpus entry at offset {entry.offset} is keyed "
+                f"(seed={entry.key.seed}, index={entry.key.index}) but the "
+                f"campaign derives seed {expected_seed} for index "
+                f"{entry.offset} — corpus keys drifted from campaign keys",
+                path=str(config.corpus),
+                offset=entry.offset,
+            )
+        yield entry.key.index, entry.key.family, entry.instance()
 
 
 def run_fuzz(
@@ -206,11 +310,21 @@ def run_fuzz(
     out_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
     verify: Callable[..., OracleReport] = verify_instance,
+    checkpoint: str | Path | None = None,
+    checkpoint_every: int = 50,
 ) -> FuzzResult:
     """Run one campaign; write counterexamples into ``out_dir`` if given.
 
     ``verify`` is injectable so tests can wrap the oracle (e.g. fault
     injection); production callers leave the default.
+
+    ``checkpoint`` makes the campaign resumable: progress (counters plus
+    the indices of failures found so far, keyed by campaign offsets) is
+    persisted there every ``checkpoint_every`` instances.  If the file
+    already exists and matches this config, already-processed indices
+    are skipped — recorded failures are re-verified (deterministically)
+    to rebuild their reports — so a rerun after a mid-campaign kill
+    produces the identical :class:`FuzzResult`.
     """
     from repro.flow.incremental import (
         flow_stats,
@@ -231,7 +345,9 @@ def run_fuzz(
     )
     t0 = time.perf_counter()
     try:
-        _run_campaign(config, result, verify, progress)
+        _run_campaign(
+            config, result, verify, progress, checkpoint, checkpoint_every
+        )
     finally:
         if config.flow_backend is not None:
             set_flow_backend(previous_flow_backend)
@@ -252,52 +368,175 @@ def run_fuzz(
     return result
 
 
+def _config_dict(config: FuzzConfig) -> dict[str, Any]:
+    """The report/checkpoint form of a campaign config."""
+    return {
+        "n_instances": config.n_instances,
+        "seed": config.seed,
+        "family": config.family,
+        "max_jobs": config.max_jobs,
+        "exact_max_jobs": config.exact_max_jobs,
+        "shrink": config.shrink,
+        "backend": config.backend,
+        "flow_backend": config.flow_backend,
+        "corpus": config.corpus,
+        "shard_index": config.shard_index,
+        "shard_count": config.shard_count,
+    }
+
+
+def load_checkpoint(
+    path: str | Path, config: FuzzConfig
+) -> dict[str, Any] | None:
+    """Read a resume checkpoint, validating it belongs to ``config``.
+
+    Returns ``None`` when the file does not exist (a fresh campaign).  A
+    checkpoint written under a *different* config is an error — resuming
+    it would silently mix two campaigns' coverage.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"fuzz checkpoint {path} is not valid JSON: {exc}"
+        ) from exc
+    if doc.get("kind") != "fuzz-checkpoint":
+        raise ValueError(f"{path} is not a fuzz checkpoint")
+    if doc.get("config") != _config_dict(config):
+        raise ValueError(
+            f"fuzz checkpoint {path} was written by a different campaign "
+            f"config; refusing to resume (delete it to start over)"
+        )
+    return doc
+
+
+def _write_checkpoint(
+    path: Path,
+    config: FuzzConfig,
+    result: FuzzResult,
+    next_index: int,
+    done: bool,
+) -> None:
+    payload = {
+        "kind": "fuzz-checkpoint",
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "config": _config_dict(config),
+        "next_index": next_index,
+        "checked": result.checked,
+        "skipped_infeasible": result.skipped_infeasible,
+        "failure_indices": [f.index for f in result.failures],
+        "done": done,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2))
+    tmp.replace(path)  # atomic: a kill mid-write never corrupts it
+
+
+def _verify_one(
+    config: FuzzConfig,
+    result: FuzzResult,
+    verify: Callable[..., OracleReport],
+    progress: Callable[[str], None] | None,
+    index: int,
+    family: str,
+    instance: Instance,
+    *,
+    count: bool = True,
+) -> None:
+    """Oracle one instance; record counters (unless replaying) and failures."""
+    report = verify(
+        instance,
+        exact_max_jobs=config.exact_max_jobs,
+        backend=config.backend,
+    )
+    if report.status == "infeasible":
+        if count:
+            result.skipped_infeasible += 1
+        return
+    if count:
+        result.checked += 1
+    if not report.failed:
+        return
+    failure = FuzzFailure(index=index, family=family, report=report)
+    if config.shrink:
+        props = report.property_names()
+
+        def failing(candidate: Instance) -> bool:
+            rep = verify(
+                candidate,
+                exact_max_jobs=config.exact_max_jobs,
+                backend=config.backend,
+            )
+            return rep.failed and bool(set(props) & set(rep.property_names()))
+
+        shrunk = shrink_instance(instance, failing)
+        failure.shrunk = shrunk.instance
+        failure.shrink_evals = shrunk.evals
+    result.failures.append(failure)
+    if progress is not None:
+        progress(
+            f"instance #{index} violates "
+            f"{', '.join(report.property_names())} "
+            f"(shrunk to n={failure.minimal.n})"
+        )
+
+
 def _run_campaign(
     config: FuzzConfig,
     result: FuzzResult,
     verify: Callable[..., OracleReport],
     progress: Callable[[str], None] | None,
+    checkpoint: str | Path | None = None,
+    checkpoint_every: int = 50,
 ) -> None:
-    """The campaign loop proper (backend pinning handled by the caller)."""
-    for index in range(config.n_instances):
-        instance = sample_instance(config, index)
-        family = (
-            config.family if config.family != "mixed" else FAMILIES[index % 3]
-        )
-        report = verify(
-            instance,
-            exact_max_jobs=config.exact_max_jobs,
-            backend=config.backend,
-        )
-        if report.status == "infeasible":
-            result.skipped_infeasible += 1
-            continue
-        result.checked += 1
-        if report.failed:
-            failure = FuzzFailure(index=index, family=family, report=report)
-            if config.shrink:
-                props = report.property_names()
+    """The campaign loop proper (backend pinning handled by the caller).
 
-                def failing(candidate: Instance) -> bool:
-                    rep = verify(
-                        candidate,
-                        exact_max_jobs=config.exact_max_jobs,
-                        backend=config.backend,
-                    )
-                    return rep.failed and bool(
-                        set(props) & set(rep.property_names())
-                    )
-
-                shrunk = shrink_instance(instance, failing)
-                failure.shrunk = shrunk.instance
-                failure.shrink_evals = shrunk.evals
-            result.failures.append(failure)
+    One pass over :func:`campaign_instances` covers both the fresh and
+    the resumed case: indices below the checkpoint's ``next_index`` are
+    fast-forwarded (recorded failures re-verified without bumping
+    counters — deterministic, so the reconstructed reports are the ones
+    the killed run saw), everything after runs normally with periodic
+    checkpoint writes.
+    """
+    next_index = 0
+    replay_failures: set[int] = set()
+    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+    if checkpoint_path is not None:
+        state = load_checkpoint(checkpoint_path, config)
+        if state is not None:
+            next_index = state["next_index"]
+            result.checked = state["checked"]
+            result.skipped_infeasible = state["skipped_infeasible"]
+            replay_failures = set(state["failure_indices"])
             if progress is not None:
                 progress(
-                    f"instance #{index} violates "
-                    f"{', '.join(report.property_names())} "
-                    f"(shrunk to n={failure.minimal.n})"
+                    f"resuming campaign at index {next_index} "
+                    f"({result.checked} checked, "
+                    f"{len(replay_failures)} known failure(s))"
                 )
+    processed = 0
+    for index, family, instance in campaign_instances(config):
+        if index < next_index:
+            if index in replay_failures:
+                _verify_one(
+                    config, result, verify, progress,
+                    index, family, instance, count=False,
+                )
+            continue
+        _verify_one(config, result, verify, progress, index, family, instance)
+        processed += 1
+        if checkpoint_path is not None and processed % checkpoint_every == 0:
+            _write_checkpoint(
+                checkpoint_path, config, result, index + 1, done=False
+            )
+    if checkpoint_path is not None:
+        _write_checkpoint(
+            checkpoint_path, config, result, config.n_instances, done=True
+        )
 
 
 def fuzz_report_dict(result: FuzzResult) -> dict[str, Any]:
@@ -308,16 +547,7 @@ def fuzz_report_dict(result: FuzzResult) -> dict[str, Any]:
     return {
         "schema_version": FUZZ_SCHEMA_VERSION,
         "kind": "fuzz-report",
-        "config": {
-            "n_instances": config.n_instances,
-            "seed": config.seed,
-            "family": config.family,
-            "max_jobs": config.max_jobs,
-            "exact_max_jobs": config.exact_max_jobs,
-            "shrink": config.shrink,
-            "backend": config.backend,
-            "flow_backend": config.flow_backend,
-        },
+        "config": _config_dict(config),
         "checked": result.checked,
         "skipped_infeasible": result.skipped_infeasible,
         "n_failures": len(result.failures),
@@ -357,6 +587,112 @@ def write_fuzz_report(result: FuzzResult, path: str | Path) -> None:
     Path(path).write_text(json.dumps(fuzz_report_dict(result), indent=2))
 
 
+#: Report keys that vary run to run (clocks, hardware, process warmth,
+#: output paths) — everything else must be bit-for-bit reproducible.
+VOLATILE_REPORT_KEYS = (
+    "wall_time_s",
+    "solver",
+    "flow",
+    "environment",
+    "counterexample_paths",
+)
+
+
+def stable_fuzz_report(doc: dict[str, Any]) -> dict[str, Any]:
+    """A report with its volatile (timing/env/path) keys stripped.
+
+    Two campaigns over the same instances — sharded vs. unsharded,
+    corpus-backed vs. regenerating, resumed vs. uninterrupted — must
+    produce *equal* stable reports; this is the form tests, E17, and the
+    CI merge gate compare.
+    """
+    return {
+        k: v for k, v in doc.items() if k not in VOLATILE_REPORT_KEYS
+    }
+
+
+def _merge_numeric(docs: Sequence[Any]) -> Any:
+    """Sum numeric leaves across parallel stat blocks (dicts recurse)."""
+    first = docs[0]
+    if isinstance(first, dict):
+        keys: list[str] = []
+        for doc in docs:
+            keys += [k for k in doc if k not in keys]
+        return {
+            key: _merge_numeric([d[key] for d in docs if key in d])
+            for key in keys
+        }
+    if isinstance(first, bool) or not isinstance(first, (int, float)):
+        return first
+    return type(first)(sum(docs))
+
+
+def merge_fuzz_reports(docs: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Reassemble one campaign report from its shard reports.
+
+    The shards must cover one campaign exactly: same base config, one
+    report per ``shard_index`` in ``0..shard_count-1``.  The merged
+    report carries the unsharded config (``0/1``) and — apart from the
+    volatile keys, where counters sum and the environment is taken from
+    the first shard — equals the report an unsharded run would write.
+    """
+    if not docs:
+        raise ValueError("no fuzz reports to merge")
+    for doc in docs:
+        if doc.get("kind") != "fuzz-report":
+            raise ValueError(
+                f"cannot merge {doc.get('kind')!r}: not a fuzz report"
+            )
+    base_configs = []
+    shards = []
+    for doc in docs:
+        config = dict(doc["config"])
+        shards.append((config.pop("shard_index"), config.pop("shard_count")))
+        base_configs.append(config)
+    if any(c != base_configs[0] for c in base_configs[1:]):
+        raise ValueError(
+            "cannot merge fuzz reports from different campaign configs"
+        )
+    counts = {n for _, n in shards}
+    if len(counts) != 1:
+        raise ValueError(f"mixed shard counts {sorted(counts)}")
+    count = counts.pop()
+    indices = sorted(i for i, _ in shards)
+    if indices != list(range(count)):
+        raise ValueError(
+            f"shard reports do not partition the campaign: have shards "
+            f"{indices} of {count}"
+        )
+    order = sorted(range(len(docs)), key=lambda k: shards[k][0])
+    docs = [docs[k] for k in order]
+    failures = sorted(
+        (f for doc in docs for f in doc["failures"]),
+        key=lambda f: f["index"],
+    )
+    merged_config = dict(base_configs[0])
+    merged_config["shard_index"], merged_config["shard_count"] = 0, 1
+    paths: list[str] = []
+    for doc in docs:
+        paths += doc.get("counterexample_paths", [])
+    return {
+        "schema_version": FUZZ_SCHEMA_VERSION,
+        "kind": "fuzz-report",
+        "config": merged_config,
+        "checked": sum(doc["checked"] for doc in docs),
+        "skipped_infeasible": sum(
+            doc["skipped_infeasible"] for doc in docs
+        ),
+        "n_failures": len(failures),
+        "ok": all(doc["ok"] for doc in docs),
+        "failures": failures,
+        "counterexample_paths": paths,
+        "wall_time_s": sum(doc.get("wall_time_s", 0.0) for doc in docs),
+        "solver": _merge_numeric([doc.get("solver", {}) for doc in docs]),
+        "flow": _merge_numeric([doc.get("flow", {}) for doc in docs]),
+        "environment": docs[0].get("environment", {}),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Twin fuzzing: differential replay of random event traces
 # ---------------------------------------------------------------------------
@@ -380,6 +716,10 @@ class TwinFuzzConfig:
     g_max: int = 4
     p_max: int = 4
     slack_max: int = 8
+    #: Deterministic campaign split over trace indices, mirroring
+    #: :class:`FuzzConfig` — ``0/1`` is the unsharded campaign.
+    shard_index: int = 0
+    shard_count: int = 1
 
     def __post_init__(self) -> None:
         if self.n_traces < 1:
@@ -388,6 +728,11 @@ class TwinFuzzConfig:
             raise ValueError("n_events must be >= 1")
         if self.g_max < 1:
             raise ValueError("g_max must be >= 1")
+        if self.shard_count < 1 or not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"invalid shard {self.shard_index}/{self.shard_count}: "
+                "need 0 <= shard_index < shard_count"
+            )
 
 
 @dataclass
@@ -417,7 +762,7 @@ def twin_trace_for(config: TwinFuzzConfig, index: int):
     """The ``index``-th trace of the campaign (pure function of config)."""
     from repro.twin.events import random_trace
 
-    derived = (config.seed * 1_000_003 + index) & 0x7FFFFFFF
+    derived = derive_seed(config.seed, index)
     g = derived % config.g_max + 1
     return random_trace(
         config.n_events,
@@ -429,12 +774,78 @@ def twin_trace_for(config: TwinFuzzConfig, index: int):
     )
 
 
+def _twin_config_dict(config: TwinFuzzConfig) -> dict[str, Any]:
+    return {
+        "n_traces": config.n_traces,
+        "n_events": config.n_events,
+        "seed": config.seed,
+        "g_max": config.g_max,
+        "p_max": config.p_max,
+        "slack_max": config.slack_max,
+        "shard_index": config.shard_index,
+        "shard_count": config.shard_count,
+    }
+
+
+def _load_twin_checkpoint(
+    path: Path, config: TwinFuzzConfig
+) -> dict[str, Any] | None:
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"twin-fuzz checkpoint {path} is not valid JSON: {exc}"
+        ) from exc
+    if doc.get("kind") != "twin-fuzz-checkpoint":
+        raise ValueError(f"{path} is not a twin-fuzz checkpoint")
+    if doc.get("config") != _twin_config_dict(config):
+        raise ValueError(
+            f"twin-fuzz checkpoint {path} was written by a different "
+            "campaign config; refusing to resume (delete it to start over)"
+        )
+    return doc
+
+
+def _write_twin_checkpoint(
+    path: Path, config: TwinFuzzConfig, result: TwinFuzzResult, next_index: int, done: bool
+) -> None:
+    payload = {
+        "kind": "twin-fuzz-checkpoint",
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "config": _twin_config_dict(config),
+        "next_index": next_index,
+        "traces": result.traces,
+        "events": result.events,
+        "accepted": result.accepted,
+        "rejected": result.rejected,
+        "committed_units": result.committed_units,
+        "mismatches": result.mismatches,
+        "audit_failures": result.audit_failures,
+        "determinism_failures": result.determinism_failures,
+        "done": done,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2))
+    tmp.replace(path)
+
+
 def run_twin_fuzz(
     config: TwinFuzzConfig,
     *,
     progress: Callable[[str], None] | None = None,
+    checkpoint: str | Path | None = None,
+    checkpoint_every: int = 5,
 ) -> TwinFuzzResult:
-    """Replay seeded random traces with every cross-check armed."""
+    """Replay seeded random traces with every cross-check armed.
+
+    Honours the config's shard split (trace ``index % shard_count ==
+    shard_index``) and, with ``checkpoint``, resumes a killed campaign:
+    twin failure records are plain dicts, so the checkpoint carries the
+    full partial result and a resume fast-forwards past finished traces.
+    """
     from repro.flow.incremental import flow_stats, flow_stats_delta
     from repro.simulate.machine import BatchMachine
     from repro.twin import TwinSession, twin_fingerprint
@@ -442,9 +853,28 @@ def run_twin_fuzz(
     from repro.util.errors import InvalidInstanceError
 
     result = TwinFuzzResult(config=config)
+    next_index = 0
+    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+    if checkpoint_path is not None:
+        state = _load_twin_checkpoint(checkpoint_path, config)
+        if state is not None:
+            next_index = state["next_index"]
+            result.traces = state["traces"]
+            result.events = state["events"]
+            result.accepted = state["accepted"]
+            result.rejected = state["rejected"]
+            result.committed_units = state["committed_units"]
+            result.mismatches = list(state["mismatches"])
+            result.audit_failures = list(state["audit_failures"])
+            result.determinism_failures = list(state["determinism_failures"])
+            if progress is not None:
+                progress(f"resuming twin campaign at trace {next_index}")
     flow_before = flow_stats()
     t0 = time.perf_counter()
-    for index in range(config.n_traces):
+    processed = 0
+    for index in range(next_index, config.n_traces):
+        if index % config.shard_count != config.shard_index:
+            continue
         trace = twin_trace_for(config, index)
         session = TwinSession(
             trace.g, start=trace.start, backend="differential"
@@ -472,20 +902,33 @@ def run_twin_fuzz(
         if broke:
             if progress is not None:
                 progress(f"trace #{index}: MISMATCH at event {event_index}")
-            continue
-        try:
-            BatchMachine(trace.g).audit_twin(session)
-        except InvalidInstanceError as exc:
-            result.audit_failures.append({"trace": index, "error": str(exc)})
-            if progress is not None:
-                progress(f"trace #{index}: audit failed: {exc}")
-        replayed = TwinSession(
-            trace.g, start=trace.start, backend="incremental"
+        else:
+            try:
+                BatchMachine(trace.g).audit_twin(session)
+            except InvalidInstanceError as exc:
+                result.audit_failures.append(
+                    {"trace": index, "error": str(exc)}
+                )
+                if progress is not None:
+                    progress(f"trace #{index}: audit failed: {exc}")
+            replayed = TwinSession(
+                trace.g, start=trace.start, backend="incremental"
+            )
+            if twin_fingerprint(replayed.replay(trace)) != twin_fingerprint(
+                diffs
+            ):
+                result.determinism_failures.append({"trace": index})
+                if progress is not None:
+                    progress(f"trace #{index}: diff stream not deterministic")
+        processed += 1
+        if checkpoint_path is not None and processed % checkpoint_every == 0:
+            _write_twin_checkpoint(
+                checkpoint_path, config, result, index + 1, done=False
+            )
+    if checkpoint_path is not None:
+        _write_twin_checkpoint(
+            checkpoint_path, config, result, config.n_traces, done=True
         )
-        if twin_fingerprint(replayed.replay(trace)) != twin_fingerprint(diffs):
-            result.determinism_failures.append({"trace": index})
-            if progress is not None:
-                progress(f"trace #{index}: diff stream not deterministic")
     result.wall_time_s = time.perf_counter() - t0
     result.flow = flow_stats_delta(flow_stats(), flow_before)
     return result
@@ -499,14 +942,7 @@ def twin_fuzz_report_dict(result: TwinFuzzResult) -> dict[str, Any]:
     return {
         "schema_version": FUZZ_SCHEMA_VERSION,
         "kind": "twin-fuzz-report",
-        "config": {
-            "n_traces": config.n_traces,
-            "n_events": config.n_events,
-            "seed": config.seed,
-            "g_max": config.g_max,
-            "p_max": config.p_max,
-            "slack_max": config.slack_max,
-        },
+        "config": _twin_config_dict(config),
         "traces": result.traces,
         "events": result.events,
         "accepted": result.accepted,

@@ -7,9 +7,10 @@ from repro.analysis.adversarial import (
     search_adversarial,
     seeded_recipe,
 )
-from repro.analysis.parallel import run_battery
+from repro.analysis.parallel import run_battery, stream_battery
 from repro.baselines.minimal_feasible import minimal_feasible_schedule
 from repro.instances.generators import laminar_suite, random_laminar
+from repro.util.errors import BatteryTaskError
 
 
 class TestRunBattery:
@@ -41,6 +42,94 @@ class TestRunBattery:
         instances = [random_laminar(6, 2, horizon=14, seed=2)]
         res = run_battery(instances, "gaps", max_workers=1)[0]
         assert res["natural_lp"] <= res["strengthened_lp"] + 1e-6
+
+
+class TestChunkedFanOut:
+    """Chunked/streamed transport must be indistinguishable from the
+    per-instance default (results, order, errors, stats)."""
+
+    def _battery(self, n=200):
+        return [
+            random_laminar(5, 2, horizon=12, seed=s) for s in range(n)
+        ]
+
+    def test_chunked_matches_default_on_200_instances(self):
+        instances = self._battery(200)
+        default = run_battery(instances, "profile", max_workers=1)
+        chunked = run_battery(
+            instances, "profile", chunk_instances=7, max_workers=2
+        )
+        streamed = list(
+            stream_battery(
+                instances, "profile", chunk_instances=32, max_workers=2
+            )
+        )
+        assert chunked == default
+        assert streamed == default
+
+    def test_stream_consumes_lazily(self):
+        # A generator input must work and preserve input order.
+        def gen():
+            for s in range(40):
+                yield random_laminar(5, 2, horizon=12, seed=s)
+
+        streamed = list(
+            stream_battery(gen(), "profile", chunk_instances=8,
+                           max_workers=2, inflight_chunks=2)
+        )
+        assert streamed == run_battery(self._battery(40), "profile",
+                                       max_workers=1)
+
+    def test_chunked_error_carries_context(self):
+        instances = self._battery(12)
+        # "gaps" calls strengthened_lp_bound only on laminar instances;
+        # force a crash instead via an unknown-task guard on the chunk
+        # path, then a real task failure with index context.
+        with pytest.raises(ValueError):
+            list(stream_battery(instances, "nope"))
+        with pytest.raises(ValueError):
+            list(stream_battery(instances, "profile", chunk_instances=0))
+
+    def test_chunked_task_failure_names_instance(self, monkeypatch):
+        instances = self._battery(9)
+        import repro.analysis.parallel as par
+
+        real = par._TASKS["profile"]
+
+        def boom(instance):
+            if instance.name.endswith("seed=5)"):
+                raise RuntimeError("injected")
+            return real(instance)
+
+        monkeypatch.setitem(par._TASKS, "profile", boom)
+        with pytest.raises(BatteryTaskError) as exc:
+            list(
+                stream_battery(
+                    instances, "profile", chunk_instances=4, max_workers=1
+                )
+            )
+        assert exc.value.index == 5
+        assert exc.value.task == "profile"
+
+    def test_chunked_collect_stats(self):
+        instances = [random_laminar(6, 2, horizon=14, seed=s)
+                     for s in range(6)]
+        default = run_battery(
+            instances, "solve_nested", max_workers=1, collect_stats=True
+        )
+        chunked = run_battery(
+            instances,
+            "solve_nested",
+            chunk_instances=2,
+            max_workers=2,
+            collect_stats=True,
+        )
+        for d, c in zip(default, chunked):
+            assert d["active_time"] == c["active_time"]
+            assert c["solver_stats"]["solves"] >= 1
+            assert (
+                d["solver_stats"]["solves"] == c["solver_stats"]["solves"]
+            )
 
 
 class TestAdversarialSearch:
