@@ -1,0 +1,263 @@
+"""E18 — scheduling service: throughput and latency under concurrent load.
+
+Not a paper table; this measures the engineering claim behind
+:mod:`repro.service`: the HTTP/JSON layer serves concurrent batched
+solve traffic correctly — every served answer is bit-identical with the
+in-process pipeline — while a tight per-request ``deadline_ms`` degrades
+to the branch-and-bound incumbent (``degraded: true``) instead of
+hanging, independent sub-instances fan out across the worker pool and
+merge into one valid schedule, and ``/metrics`` exposes the solver,
+flow, and request-latency counters that make the service observable.
+
+Printed tables: the load profile (requests, client threads, pool width,
+throughput, p50/p95 latency) and the correctness/observability probes.
+Runnable standalone for CI::
+
+    python benchmarks/bench_e18_service.py --smoke [--json OUT]
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+import _bench_path  # noqa: F401
+import pytest
+
+from _bench_util import run_once
+from repro.analysis.tables import print_table
+from repro.benchkit import bench_main, register
+from repro.core.algorithm import solve_nested
+from repro.instances.generators import random_general, random_laminar
+from repro.instances.io import instance_to_dict, schedule_from_dict, schedule_to_dict
+from repro.instances.jobs import Instance, Job
+from repro.service import ServiceClient, start_service
+from repro.service.metrics import quantile
+
+# (n_requests, client_threads, pool_workers) — served solve load.
+_LOAD_FULL = (200, 8, 2)
+_LOAD_SMOKE = (60, 4, 1)
+
+#: Distinct instances cycled through the request stream.
+_N_INSTANCES = 10
+
+#: Metrics lines the observability probe requires.
+_REQUIRED_COUNTERS = (
+    'repro_requests_total{endpoint="solve"}',
+    "repro_request_latency_seconds",
+    'repro_solver_stats{counter="solves"}',
+    'repro_flow_stats{counter="probes"}',
+    "repro_queue_depth",
+    "repro_degraded_total",
+    "repro_fanout_parts_total",
+)
+
+
+def _instances(seed: int) -> list[Instance]:
+    return [
+        random_laminar(5 + (i % 8), 1 + (i % 3), seed=seed * 1000 + i)
+        for i in range(_N_INSTANCES)
+    ]
+
+
+def _two_component(seed: int) -> Instance:
+    a = random_laminar(9, 3, seed=seed)
+    shift = a.horizon.end + 3
+    b_jobs = tuple(
+        Job(
+            id=j.id + 100,
+            release=j.release + shift,
+            deadline=j.deadline + shift,
+            processing=j.processing,
+        )
+        for j in a.jobs
+    )
+    return Instance(jobs=a.jobs + b_jobs, g=3, name="two-part")
+
+
+def _exact_hard() -> Instance:
+    """Trips a ~2000-node exact budget (seed found empirically)."""
+    return random_general(18, 2, seed=7)
+
+
+def run_service_workload(load=_LOAD_FULL, seed: int = 2022):
+    """Drive a booted service with concurrent batched solve traffic.
+
+    Returns (rows, probe_rows, outcome dict, latency list, wall).
+    """
+    n_requests, n_threads, workers = load
+    instances = _instances(seed)
+    expected = [
+        schedule_to_dict(solve_nested(inst).schedule) for inst in instances
+    ]
+    server, thread = start_service(
+        workers=workers, split_jobs=10**9  # splitting probed explicitly below
+    )
+    client = ServiceClient(f"http://127.0.0.1:{server.port}", timeout=300.0)
+    try:
+        client.wait_healthy(timeout=60)
+
+        def one(k: int) -> tuple[bool, float]:
+            t0 = perf_counter()
+            served = client.solve(instances[k % _N_INSTANCES])
+            elapsed = perf_counter() - t0
+            return served["schedule"] == expected[k % _N_INSTANCES], elapsed
+
+        t0 = perf_counter()
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(pool.map(one, range(n_requests)))
+        wall = perf_counter() - t0
+        matched = sum(1 for ok, _ in results if ok)
+        latencies = sorted(lat for _, lat in results)
+
+        degraded = client.solve(
+            _exact_hard(), algorithm="exact", deadline_ms=1, split=False
+        )
+        degraded_ok = (
+            degraded["degraded"] is True
+            and schedule_from_dict(degraded["schedule"]).is_valid
+        )
+
+        split = client.solve(_two_component(seed), split=True)
+        split_schedule = schedule_from_dict(split["schedule"])
+        split_ok = (
+            split["parts"] == 2
+            and split_schedule.is_valid
+            and sorted(split_schedule.assignment)
+            == sorted(j.id for j in _two_component(seed).jobs)
+        )
+
+        metrics = client.metrics()
+        missing = [c for c in _REQUIRED_COUNTERS if c not in metrics]
+        snap = server.service.request_stats.snapshot()
+        http_errors = sum(snap["errors"].values())
+    finally:
+        server.shutdown()
+        server.service.shutdown()
+        thread.join(timeout=10)
+
+    rows = [
+        [
+            n_requests,
+            n_threads,
+            workers,
+            f"{n_requests / wall:.0f}",
+            f"{quantile(latencies, 0.5) * 1e3:.1f}",
+            f"{quantile(latencies, 0.95) * 1e3:.1f}",
+        ]
+    ]
+    probe_rows = [
+        ["solve agreement", f"{matched}/{n_requests} bit-identical"],
+        ["deadline degradation", "incumbent served" if degraded_ok else "FAILED"],
+        ["split fan-out", "2 parts merged valid" if split_ok else "FAILED"],
+        ["metrics counters", "all present" if not missing else f"missing {missing}"],
+        ["http errors", http_errors],
+    ]
+    outcome = {
+        "matched": matched,
+        "degraded_ok": degraded_ok,
+        "degraded_active_time": degraded["active_time"],
+        "split_ok": split_ok,
+        "split_parts": split["parts"],
+        "missing_counters": missing,
+        "http_errors": http_errors,
+    }
+    return rows, probe_rows, outcome, latencies, wall
+
+
+_HEADERS = [
+    "requests",
+    "client threads",
+    "pool workers",
+    "req/s",
+    "p50 [ms]",
+    "p95 [ms]",
+]
+
+
+@register(
+    "E18",
+    title="scheduling service: concurrent served solves",
+    claim="Service layer: served /solve answers are bit-identical with "
+    "the in-process pipeline under concurrent batched load, tight "
+    "deadlines degrade to the incumbent instead of hanging, split "
+    "instances fan out and merge into valid schedules, and /metrics "
+    "exposes solver, flow, and request-latency counters",
+)
+def run_bench(ctx):
+    load = ctx.pick(_LOAD_FULL, _LOAD_SMOKE)
+    rows, probe_rows, outcome, latencies, wall = run_service_workload(
+        load, seed=ctx.seed
+    )
+    n_requests = load[0]
+    ctx.add_table(
+        "load", _HEADERS, rows,
+        title="E18 — served solve throughput under concurrent load",
+    )
+    ctx.add_table(
+        "probes", ["probe", "outcome"], probe_rows,
+        title="E18 — correctness and observability probes",
+    )
+    # Deterministic outcomes (exact-gated by `benchkit compare`).
+    ctx.add_metric("requests", n_requests)
+    ctx.add_metric("matched", outcome["matched"])
+    ctx.add_metric("degraded_active_time", outcome["degraded_active_time"])
+    ctx.add_metric("split_parts", outcome["split_parts"])
+    ctx.add_metric("http_errors", outcome["http_errors"])
+    # Wall times and rates (tolerance-gated, skipped cross-machine).
+    ctx.add_timing("load_wall_s", wall)
+    ctx.add_timing("throughput_rps", n_requests / wall)
+    ctx.add_timing("latency_p50_s", quantile(latencies, 0.5))
+    ctx.add_timing("latency_p95_s", quantile(latencies, 0.95))
+    ctx.add_check(
+        "served_matches_pipeline", outcome["matched"] == n_requests
+    )
+    ctx.add_check("deadline_degrades_to_incumbent", outcome["degraded_ok"])
+    ctx.add_check("split_fanout_merges_valid", outcome["split_ok"])
+    ctx.add_check(
+        "metrics_counters_present", not outcome["missing_counters"]
+    )
+    ctx.add_check("no_http_errors", outcome["http_errors"] == 0)
+
+
+@pytest.fixture(scope="module")
+def e18_tables():
+    rows, probe_rows, outcome, latencies, wall = run_service_workload(
+        _LOAD_SMOKE
+    )
+    print_table(
+        _HEADERS, rows,
+        title="E18 — served solve throughput under concurrent load",
+    )
+    return rows, probe_rows, outcome
+
+
+class TestServiceBench:
+    def test_all_served_answers_match(self, e18_tables):
+        _, _, outcome = e18_tables
+        assert outcome["matched"] == _LOAD_SMOKE[0]
+        assert outcome["http_errors"] == 0
+
+    def test_probes(self, e18_tables):
+        _, _, outcome = e18_tables
+        assert outcome["degraded_ok"]
+        assert outcome["split_ok"]
+        assert not outcome["missing_counters"]
+
+    def test_single_request_benchmark(self, benchmark):
+        server, thread = start_service(workers=1)
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.port}", timeout=60.0
+        )
+        client.wait_healthy(timeout=30)
+        doc = instance_to_dict(random_laminar(8, 2, seed=1))
+        try:
+            run_once(benchmark, lambda: client.solve(doc)["active_time"])
+        finally:
+            server.shutdown()
+            server.service.shutdown()
+            thread.join(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

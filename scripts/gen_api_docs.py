@@ -13,7 +13,7 @@ PACKAGES = [
     "repro.solver", "repro.core", "repro.baselines", "repro.hardness",
     "repro.analysis", "repro.corpus", "repro.simulate", "repro.twin",
     "repro.multiinterval", "repro.online", "repro.busytime", "repro.verify",
-    "repro.util",
+    "repro.service", "repro.util",
 ]
 
 

@@ -1,0 +1,188 @@
+"""End-to-end smoke of the scheduling service, as CI runs it.
+
+Boots ``active-time serve`` as a real subprocess on an ephemeral port,
+drives every endpoint through :class:`repro.service.client.ServiceClient`
+and asserts the served ``/solve`` answer round-trips *bit-identically*
+with ``active-time solve`` on the same instance.  Exits non-zero on any
+failure; the boot itself is bounded by ``--boot-timeout`` (CI uses the
+default 60s).
+
+Run from the repository root::
+
+    python scripts/service_smoke.py [--instance data/section5_gap_g4.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def boot_server(args: argparse.Namespace) -> tuple[subprocess.Popen, str]:
+    """Start ``active-time serve --port 0`` and wait for its banner."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--port",
+        "0",
+        "--workers",
+        str(args.workers),
+    ]
+    proc = subprocess.Popen(
+        cmd,
+        cwd=ROOT,
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner: list[str] = []
+
+    def read_banner() -> None:
+        line = proc.stdout.readline()
+        banner.append(line)
+
+    reader = threading.Thread(target=read_banner, daemon=True)
+    reader.start()
+    reader.join(args.boot_timeout)
+    if not banner or not banner[0]:
+        proc.kill()
+        raise SystemExit(
+            f"FAIL: server printed no banner within {args.boot_timeout}s"
+        )
+    match = re.search(r"http://[\d.]+:(\d+)", banner[0])
+    if not match:
+        proc.kill()
+        raise SystemExit(f"FAIL: unparsable boot banner: {banner[0]!r}")
+    return proc, f"http://127.0.0.1:{match.group(1)}"
+
+
+def cli_solve_schedule(instance_path: Path) -> dict:
+    """The CLI's answer for the same instance, as a schedule document."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "schedule.json"
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "solve",
+                str(instance_path),
+                "--output",
+                str(out),
+            ],
+            cwd=ROOT,
+            env=_env(),
+            check=True,
+            capture_output=True,
+        )
+        return json.loads(out.read_text())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--instance",
+        default="data/section5_gap_g4.json",
+        help="laminar instance JSON the solve round-trip uses",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--boot-timeout", type=float, default=60.0)
+    args = parser.parse_args()
+
+    instance_path = ROOT / args.instance
+    instance_doc = json.loads(instance_path.read_text())
+
+    t0 = time.monotonic()
+    proc, base_url = boot_server(args)
+    failures: list[str] = []
+    try:
+        client = ServiceClient(base_url, timeout=120.0)
+        health = client.wait_healthy(
+            timeout=max(1.0, args.boot_timeout - (time.monotonic() - t0))
+        )
+        print(f"healthz: {health}")
+        if not health.get("ok"):
+            failures.append(f"healthz not ok: {health}")
+
+        served = client.solve(instance_doc)
+        print(
+            f"solve: active_time={served['active_time']} "
+            f"parts={served['parts']} degraded={served['degraded']}"
+        )
+        expected = cli_solve_schedule(instance_path)
+        if served["schedule"] != expected:
+            failures.append(
+                "served /solve schedule differs from `active-time solve` "
+                f"on {args.instance}: served={served['schedule']} "
+                f"cli={expected}"
+            )
+        else:
+            print("solve round-trip: bit-identical with the CLI answer")
+
+        verify = client.verify(instance_doc)
+        print(f"verify: status={verify['status']} ok={verify['ok']}")
+        if not verify.get("ok"):
+            failures.append(f"verify reported violations: {verify}")
+
+        fuzz = client.fuzz(n_instances=20, seed=2022, max_jobs=8)
+        print(
+            f"fuzz: checked={fuzz['checked']} failures={fuzz['n_failures']} "
+            f"shards={fuzz['shards']}"
+        )
+        if not fuzz.get("ok"):
+            failures.append(f"served fuzz campaign failed: {fuzz}")
+
+        metrics = client.metrics()
+        for needle in (
+            'repro_requests_total{endpoint="solve"}',
+            "repro_request_latency_seconds",
+            "repro_solver_stats",
+            "repro_flow_stats",
+            "repro_queue_depth",
+        ):
+            if needle not in metrics:
+                failures.append(f"/metrics is missing {needle!r}")
+        print(f"metrics: {len(metrics.splitlines())} lines, counters present")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

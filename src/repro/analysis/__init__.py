@@ -10,7 +10,12 @@ from repro.analysis.metrics import (
     RatioRow,
     measure_ratios,
 )
-from repro.analysis.parallel import register_task, run_battery, stream_battery
+from repro.analysis.parallel import (
+    WorkerPool,
+    register_task,
+    run_battery,
+    stream_battery,
+)
 from repro.analysis.tables import print_table, render_table
 
 __all__ = [
@@ -33,5 +38,6 @@ __all__ = [
     "run_battery",
     "stream_battery",
     "register_task",
+    "WorkerPool",
     "print_table",
 ]

@@ -292,6 +292,58 @@ def _dispatch(pair: tuple[str, Any]) -> Any:
     return resolve_worker(spec)(payload)
 
 
+class WorkerPool:
+    """A persistent process pool speaking the :func:`run_jobs` transport.
+
+    :func:`run_jobs` builds (and tears down) an executor per call, which
+    is right for batch sweeps but wrong for a long-running caller — the
+    HTTP service maps many small requests and must not pay executor
+    startup per request.  A :class:`WorkerPool` keeps one
+    :class:`~concurrent.futures.ProcessPoolExecutor` alive across
+    :meth:`map` calls; workers are still addressed by dotted
+    ``"package.module:function"`` reference and only plain data crosses
+    the process boundary, so the pool works under both fork and spawn.
+
+    ``max_workers=1`` never builds an executor: every :meth:`map` runs
+    in the calling process with identical semantics (the deterministic
+    path tests and single-core deployments use).  The pool is lazy (the
+    executor is created on first pooled :meth:`map`) and thread-safe in
+    the way the service needs: concurrent :meth:`map` calls from
+    handler threads share the executor, which serializes submission
+    internally.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def in_process(self) -> bool:
+        """True when maps run in the calling process (no pool)."""
+        return self.max_workers == 1
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def map(self, worker: str, payloads: Sequence[Any]) -> list[Any]:
+        """Run ``worker`` over ``payloads``; results come back in order."""
+        fn = resolve_worker(worker)  # validate eagerly, fail before forking
+        if self.in_process:
+            return [fn(p) for p in payloads]
+        pairs = [(worker, p) for p in payloads]
+        return list(self._executor().map(_dispatch, pairs))
+
+    def shutdown(self) -> None:
+        """Tear down the executor (idempotent); maps after this rebuild it."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
 def run_jobs(
     worker: str,
     payloads: Sequence[Any],

@@ -13,6 +13,8 @@ Subcommands
                ``--resume``, shard-report merging ``--merge``)
 ``corpus``     persistent instance corpus: build / stat
 ``twin``       rescheduling digital twin: record/replay event traces, fuzz
+``serve``      long-running HTTP/JSON scheduling service (solve / verify /
+               fuzz / healthz / metrics) over a process worker pool
 """
 
 from __future__ import annotations
@@ -369,6 +371,20 @@ def _cmd_twin_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        # --workers 0 means "size the pool to the machine".
+        workers=args.workers if args.workers >= 1 else None,
+        max_body=args.max_body,
+        split_jobs=args.split_jobs,
+        verbose=args.verbose,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="active-time",
@@ -606,6 +622,42 @@ def build_parser() -> argparse.ArgumentParser:
     tfuzz.add_argument("--g-max", type=int, default=4)
     tfuzz.add_argument("--report", help="write a JSON campaign report here")
     tfuzz.set_defaults(func=_cmd_twin_fuzz)
+
+    srv = sub.add_parser(
+        "serve",
+        help="HTTP/JSON scheduling service (solve/verify/fuzz/healthz/metrics)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port; 0 binds an ephemeral port (printed on boot)",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process worker pool width; 1 (default) runs solves "
+        "in-process, 0 sizes the pool to the machine's cores",
+    )
+    srv.add_argument(
+        "--max-body",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="request-body cap in bytes (413 past it)",
+    )
+    srv.add_argument(
+        "--split-jobs",
+        type=int,
+        default=64,
+        help="instances with at least this many jobs are split into "
+        "independent sub-instances and fanned out across the pool",
+    )
+    srv.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+    srv.set_defaults(func=_cmd_serve)
     return parser
 
 
