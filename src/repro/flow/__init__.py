@@ -1,6 +1,13 @@
 """Max-flow substrate and flow-based feasibility tests."""
 
 from repro.flow.assignment import schedule_from_node_counts, spread_units
+from repro.flow.csr import (
+    FLOW_KERNELS,
+    CSRMaxFlow,
+    flow_network,
+    get_flow_kernel,
+    set_flow_kernel,
+)
 from repro.flow.dinic import MaxFlow
 from repro.flow.feasibility import (
     all_slots_feasible,
@@ -29,6 +36,11 @@ from repro.flow.incremental import (
 
 __all__ = [
     "MaxFlow",
+    "CSRMaxFlow",
+    "FLOW_KERNELS",
+    "flow_network",
+    "get_flow_kernel",
+    "set_flow_kernel",
     "slot_feasible",
     "extract_schedule",
     "all_slots_feasible",

@@ -94,6 +94,21 @@ class MaxFlow:
         self.head[v].append(eid + 1)
         return eid
 
+    def add_edges(
+        self,
+        us: Iterable[int],
+        vs: Iterable[int],
+        caps: Iterable[float],
+    ) -> list[int]:
+        """Bulk :meth:`add_edge`; returns the even ids, in order.
+
+        Semantically a plain loop here; the CSR kernel
+        (:class:`repro.flow.csr.CSRMaxFlow`) overrides it with a
+        vectorized append that defers adjacency-list construction, so
+        builders that batch their edges are fast on both kernels.
+        """
+        return [self.add_edge(u, v, c) for u, v, c in zip(us, vs, caps)]
+
     def reset(self) -> None:
         """Restore all capacities (undo any previously computed flow)."""
         self.cap = list(self._initial_cap)

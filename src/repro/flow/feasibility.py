@@ -12,13 +12,23 @@ Two levels of granularity:
   with capacities ``(p_j, x̃(i), g·x̃(i))``.  Equivalent to slot level for
   laminar instances because slots in a node's exclusive region are
   interchangeable, and much smaller.
+
+Both builders assemble their edge lists as flat arrays and add them in
+one :meth:`~repro.flow.dinic.MaxFlow.add_edges` call, in the same
+global order the historical per-edge loops used — so edge ids are
+identical across the ``csr`` and ``object`` kernels
+(:mod:`repro.flow.csr`) and flow extraction vectorizes over the
+resulting id arrays.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.core.schedule import Schedule
+from repro.flow.csr import flow_network
 from repro.flow.dinic import MaxFlow
 from repro.instances.jobs import Instance
 from repro.tree.node import WindowForest
@@ -31,24 +41,65 @@ from repro.tree.node import WindowForest
 
 def _slot_network(
     instance: Instance, active: Sequence[int]
-) -> tuple[MaxFlow, dict[tuple[int, int], int], int, int]:
-    """Build the job/slot network; returns (net, job-slot edge ids, s, t)."""
-    slots = sorted(set(active))
-    slot_pos = {t: k for k, t in enumerate(slots)}
+) -> tuple[MaxFlow, tuple[np.ndarray, np.ndarray, np.ndarray], int, int]:
+    """Build the job/slot network on the active kernel.
+
+    Returns ``(net, (edge_ids, job_pos, slot), source, sink)`` where the
+    three parallel arrays describe the job→slot edges: ``edge_ids[k]``
+    connects the job at position ``job_pos[k]`` to slot ``slot[k]``.
+    """
+    slots = np.asarray(sorted(set(active)), dtype=np.int64)
     n_jobs = instance.n
-    source = n_jobs + len(slots)
+    n_slots = int(slots.size)
+    source = n_jobs + n_slots
     sink = source + 1
-    net = MaxFlow(sink + 1)
-    edge_ids: dict[tuple[int, int], int] = {}
-    for k, job in enumerate(instance.jobs):
-        net.add_edge(source, k, job.processing)
-        for t in range(job.release, job.deadline):
-            pos = slot_pos.get(t)
-            if pos is not None:
-                edge_ids[(job.id, t)] = net.add_edge(k, n_jobs + pos, 1)
-    for pos in range(len(slots)):
-        net.add_edge(n_jobs + pos, sink, instance.g)
-    return net, edge_ids, source, sink
+    net = flow_network(sink + 1)
+    rels = np.fromiter(
+        (j.release for j in instance.jobs), dtype=np.int64, count=n_jobs
+    )
+    deads = np.fromiter(
+        (j.deadline for j in instance.jobs), dtype=np.int64, count=n_jobs
+    )
+    procs = np.fromiter(
+        (j.processing for j in instance.jobs), dtype=np.int64, count=n_jobs
+    )
+    # Window slots of job k are the contiguous run slots[lo[k]:hi[k]].
+    lo = np.searchsorted(slots, rels, side="left")
+    hi = np.searchsorted(slots, deads, side="left")
+    cnt = hi - lo
+    total = int(cnt.sum())
+    # Per-job block: source edge first, then its window edges (ascending
+    # slot) — the historical per-job insertion order.
+    block = cnt + 1
+    starts = np.cumsum(block) - block
+    size = n_jobs + total
+    us = np.empty(size, dtype=np.int64)
+    vs = np.empty(size, dtype=np.int64)
+    caps = np.empty(size, dtype=np.int64)
+    us[starts] = source
+    vs[starts] = np.arange(n_jobs)
+    caps[starts] = procs
+    window_mask = np.ones(size, dtype=bool)
+    window_mask[starts] = False
+    widx = np.flatnonzero(window_mask)
+    job_of = np.repeat(np.arange(n_jobs), cnt)
+    within = np.arange(total) - np.repeat(np.cumsum(cnt) - cnt, cnt)
+    pos = lo[job_of] + within
+    us[widx] = job_of
+    vs[widx] = n_jobs + pos
+    caps[widx] = 1
+    eids = np.asarray(
+        net.add_edges(
+            np.concatenate([us, n_jobs + np.arange(n_slots)]),
+            np.concatenate([vs, np.full(n_slots, sink, dtype=np.int64)]),
+            np.concatenate(
+                [caps, np.full(n_slots, instance.g, dtype=np.int64)]
+            ),
+        ),
+        dtype=np.int64,
+    )
+    meta = (eids[widx], job_of, slots[pos] if total else slots[:0])
+    return net, meta, source, sink
 
 
 def slot_feasible(instance: Instance, active: Sequence[int]) -> bool:
@@ -65,13 +116,16 @@ def extract_schedule(
     """A concrete schedule over the given slots, or ``None`` if infeasible."""
     if instance.n == 0:
         return Schedule.from_assignment(instance, {})
-    net, edge_ids, s, t = _slot_network(instance, active)
+    net, (eids, job_pos, slot), s, t = _slot_network(instance, active)
     if net.max_flow(s, t) != instance.total_volume:
         return None
+    icap = np.asarray(net._initial_cap, dtype=float)
+    cap = np.asarray(net.cap, dtype=float)
+    carrying = np.flatnonzero(icap[eids] - cap[eids] > 0.5)
     assignment: dict[int, list[int]] = {j.id: [] for j in instance.jobs}
-    for (jid, slot), eid in edge_ids.items():
-        if net.edge_flow(eid) > 0.5:
-            assignment[jid].append(slot)
+    jobs = instance.jobs
+    for k in carrying.tolist():
+        assignment[jobs[job_pos[k]].id].append(int(slot[k]))
     return Schedule.from_assignment(instance, assignment)
 
 
@@ -90,27 +144,45 @@ def _node_network(
     forest: WindowForest,
     job_node: Mapping[int, int],
     x: Sequence[int],
-) -> tuple[MaxFlow, dict[tuple[int, int], int], int, int]:
+) -> tuple[MaxFlow, tuple[list[int], list[int], list[int]], int, int]:
     """Lemma 4.1 network: ``s → jobs → nodes → t``.
 
     A job ``j`` may use nodes in ``Des(k(j))`` with per-node cap ``x(i)``;
-    node ``i`` forwards at most ``g·x(i)`` to the sink.
+    node ``i`` forwards at most ``g·x(i)`` to the sink.  Returns
+    ``(net, (edge_ids, node, job_id), source, sink)`` with the three
+    parallel lists describing the job→node edges.
     """
     n_jobs = instance.n
     m = forest.m
     source = n_jobs + m
     sink = source + 1
-    net = MaxFlow(sink + 1)
-    edge_ids: dict[tuple[int, int], int] = {}
+    net = flow_network(sink + 1)
+    us: list[int] = []
+    vs: list[int] = []
+    caps: list[float] = []
+    edge_pos: list[int] = []  # position of each job→node edge in us/vs
+    edge_node: list[int] = []
+    edge_jid: list[int] = []
     for k, job in enumerate(instance.jobs):
-        net.add_edge(source, k, job.processing)
+        us.append(source)
+        vs.append(k)
+        caps.append(job.processing)
         for i in forest.descendants(job_node[job.id]):
             if x[i] > 0:
-                edge_ids[(i, job.id)] = net.add_edge(k, n_jobs + i, x[i])
+                edge_pos.append(len(us))
+                edge_node.append(i)
+                edge_jid.append(job.id)
+                us.append(k)
+                vs.append(n_jobs + i)
+                caps.append(x[i])
     for i in range(m):
         if x[i] > 0:
-            net.add_edge(n_jobs + i, sink, instance.g * x[i])
-    return net, edge_ids, source, sink
+            us.append(n_jobs + i)
+            vs.append(sink)
+            caps.append(instance.g * x[i])
+    eids = net.add_edges(us, vs, caps)
+    meta = ([eids[p] for p in edge_pos], edge_node, edge_jid)
+    return net, meta, source, sink
 
 
 def node_prober(
@@ -166,11 +238,16 @@ def node_assignment(
     """Integral per-(node, job) units ``y(i, j)``, or ``None`` if infeasible."""
     if instance.n == 0:
         return {}
-    net, edge_ids, s, t = _node_network(instance, forest, job_node, x)
+    net, (eids, nodes, jids), s, t = _node_network(
+        instance, forest, job_node, x
+    )
     if net.max_flow(s, t) != instance.total_volume:
         return None
+    eid_arr = np.asarray(eids, dtype=np.int64)
+    icap = np.asarray(net._initial_cap, dtype=float)
+    cap = np.asarray(net.cap, dtype=float)
+    flows = icap[eid_arr] - cap[eid_arr] if eid_arr.size else np.zeros(0)
     return {
-        key: int(round(net.edge_flow(eid)))
-        for key, eid in edge_ids.items()
-        if net.edge_flow(eid) > 0.5
+        (nodes[k], jids[k]): int(round(float(flows[k])))
+        for k in np.flatnonzero(flows > 0.5).tolist()
     }

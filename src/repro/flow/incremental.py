@@ -49,6 +49,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro.flow.csr import flow_network
 from repro.flow.dinic import MaxFlow
 from repro.util.errors import SolverError
 
@@ -228,8 +229,10 @@ class IncrementalFlow:
     :attr:`value`, with ``flow(e) ≤ capacity(e)`` on every edge.
     """
 
-    def __init__(self, n: int, source: int, sink: int) -> None:
-        self.net = MaxFlow(n)
+    def __init__(
+        self, n: int, source: int, sink: int, *, kernel: str | None = None
+    ) -> None:
+        self.net = flow_network(n, kernel=kernel)
         self.source = source
         self.sink = sink
         self.value = 0.0
@@ -240,6 +243,10 @@ class IncrementalFlow:
     def add_edge(self, u: int, v: int, capacity: float) -> int:
         """Add an edge (before or between solves); returns its even id."""
         return self.net.add_edge(u, v, capacity)
+
+    def add_edges(self, us, vs, caps) -> list[int]:
+        """Bulk :meth:`add_edge`; returns the even ids, in order."""
+        return self.net.add_edges(us, vs, caps)
 
     def add_node(self) -> int:
         """Append a fresh isolated node (before or between solves)."""
@@ -401,17 +408,30 @@ class ClassFlowProber:
         source = n_jobs + len(buckets)
         sink = source + 1
         engine = IncrementalFlow(sink + 1, source, sink)
-        for k, p in enumerate(processings):
-            engine.add_edge(source, k, p)
         self._buckets = [list(b) for b in buckets]
-        self._job_edges: list[list[int]] = []
-        self._sink_edges: list[int] = []
+        # One bulk append (source edges, then per bucket its job edges
+        # and sink edge) — same edge ids as the per-edge loop, but the
+        # CSR kernel defers adjacency-list construction entirely.
+        us: list[int] = [source] * n_jobs
+        vs: list[int] = list(range(n_jobs))
+        caps: list[float] = list(processings)
         for ci, bucket in enumerate(self._buckets):
             node = n_jobs + ci
-            self._job_edges.append(
-                [engine.add_edge(k, node, 0) for k in bucket]
-            )
-            self._sink_edges.append(engine.add_edge(node, sink, 0))
+            us.extend(bucket)
+            vs.extend([node] * len(bucket))
+            caps.extend([0] * len(bucket))
+            us.append(node)
+            vs.append(sink)
+            caps.append(0)
+        eids = engine.add_edges(us, vs, caps)
+        self._job_edges: list[list[int]] = []
+        self._sink_edges: list[int] = []
+        at = n_jobs
+        for bucket in self._buckets:
+            self._job_edges.append(eids[at : at + len(bucket)])
+            at += len(bucket)
+            self._sink_edges.append(eids[at])
+            at += 1
         self._counts = [0] * len(buckets)
         # Cut bookkeeping for O(1) infeasibility rejects: total sink
         # capacity, per-job slot room, and how many jobs lack room.
@@ -506,7 +526,10 @@ class DynamicFlowProber:
         self.start = start
         self.end = start  # grown below (and on demand) via _ensure_slot
         self.total = 0
-        engine = IncrementalFlow(2, 0, 1)
+        # The twin's workload is add_node/drop_edge-heavy with tiny
+        # per-event repairs; the object kernel's eager adjacency lists
+        # win there, and pinning it keeps replay flows deterministic.
+        engine = IncrementalFlow(2, 0, 1, kernel="object")
         self.engine = engine
         self._slot_node: dict[int, int] = {}
         self._slot_sink: dict[int, int] = {}  # slot -> slot→sink edge id

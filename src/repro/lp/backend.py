@@ -67,6 +67,98 @@ class _Constraint:
     label: str
 
 
+@dataclass
+class _ConstraintBlock:
+    """A bank of same-sense rows stored directly in CSR fragments.
+
+    Produced by :meth:`LinearProgram.add_constraint_block`; the builders
+    in :mod:`repro.lp.nested_lp` / :mod:`repro.lp.cw_lp` assemble whole
+    constraint families as arrays and append them in one call instead of
+    one dict per row.
+    """
+
+    data: np.ndarray  # nnz values, row-major
+    indices: np.ndarray  # nnz column indices, row-major
+    indptr: np.ndarray  # row k occupies data[indptr[k]:indptr[k+1]]
+    sense: str  # "<=", ">=", "=="
+    rhs: np.ndarray
+    labels: tuple[str, ...]
+
+    @property
+    def nrows(self) -> int:
+        return len(self.labels)
+
+
+class _CsrAccumulator:
+    """Row-order-preserving CSR assembly over mixed dict rows and blocks.
+
+    Dict rows accumulate in plain Python lists (cheap for the small
+    hand-written models); blocks flush the pending lists and splice in
+    as whole array segments, so bulk-built families never pay per-entry
+    Python cost.  ``build`` concatenates everything in insertion order,
+    reproducing exactly the matrix the historical per-row path built.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[tuple] = []
+        self._data: list[float] = []
+        self._indices: list[int] = []
+        self._lens: list[int] = []
+        self._rhs: list[float] = []
+
+    def row(self, coeffs: dict[int, float], rhs: float, negate: bool) -> None:
+        if negate:
+            for i, v in coeffs.items():
+                self._indices.append(i)
+                self._data.append(-v)
+            self._rhs.append(-rhs)
+        else:
+            for i, v in coeffs.items():
+                self._indices.append(i)
+                self._data.append(v)
+            self._rhs.append(rhs)
+        self._lens.append(len(coeffs))
+
+    def block(self, con: _ConstraintBlock, negate: bool) -> None:
+        self._flush()
+        lens = np.diff(con.indptr)
+        self._segments.append(
+            (
+                -con.data if negate else con.data,
+                con.indices,
+                lens,
+                -con.rhs if negate else con.rhs,
+            )
+        )
+
+    def _flush(self) -> None:
+        if self._rhs:
+            self._segments.append(
+                (
+                    np.asarray(self._data, dtype=float),
+                    np.asarray(self._indices, dtype=np.int64),
+                    np.asarray(self._lens, dtype=np.int64),
+                    np.asarray(self._rhs, dtype=float),
+                )
+            )
+            self._data, self._indices = [], []
+            self._lens, self._rhs = [], []
+
+    def build(self, n: int):
+        self._flush()
+        if not self._segments:
+            return None, None
+        data = np.concatenate([s[0] for s in self._segments])
+        indices = np.concatenate([s[1] for s in self._segments])
+        lens = np.concatenate([s[2] for s in self._segments])
+        rhs = np.concatenate([s[3] for s in self._segments])
+        indptr = np.concatenate(([0], np.cumsum(lens)))
+        mat = csr_matrix(
+            (data, indices, indptr), shape=(len(rhs), n), dtype=float
+        )
+        return mat, np.asarray(rhs, dtype=float)
+
+
 class LinearProgram:
     """A minimization LP over named nonnegative (by default) variables."""
 
@@ -86,7 +178,10 @@ class LinearProgram:
 
     @property
     def num_constraints(self) -> int:
-        return len(self._constraints)
+        return sum(
+            con.nrows if isinstance(con, _ConstraintBlock) else 1
+            for con in self._constraints
+        )
 
     def add_var(
         self,
@@ -104,6 +199,51 @@ class LinearProgram:
         self._lower.append(lower)
         self._upper.append(upper)
         return name
+
+    def add_vars(
+        self,
+        names: Sequence[str],
+        *,
+        objective: float | Sequence[float] = 0.0,
+        lower: float | Sequence[float] = 0.0,
+        upper: float | Sequence[float] = np.inf,
+    ) -> list[str]:
+        """Bulk :meth:`add_var`; scalars broadcast over the batch.
+
+        Column order follows ``names`` order, so a model built with one
+        ``add_vars`` call compiles identically to the equivalent
+        ``add_var`` loop.  Raises before mutating anything on duplicate
+        names (within the batch or against existing variables) or on
+        length-mismatched per-variable sequences.
+        """
+        names = [str(name) for name in names]
+        count = len(names)
+        if len(set(names)) != count:
+            raise ValueError("duplicate variable in add_vars batch")
+        for name in names:
+            if name in self._var_index:
+                raise ValueError(f"duplicate variable {name!r}")
+
+        def broadcast(value, what: str) -> list[float]:
+            if isinstance(value, (int, float)):
+                return [float(value)] * count
+            out = [float(v) for v in value]
+            if len(out) != count:
+                raise ValueError(
+                    f"{what} has {len(out)} entries for {count} variables"
+                )
+            return out
+
+        objectives = broadcast(objective, "objective")
+        lowers = broadcast(lower, "lower")
+        uppers = broadcast(upper, "upper")
+        base = len(self._objective)
+        for k, name in enumerate(names):
+            self._var_index[name] = base + k
+        self._objective.extend(objectives)
+        self._lower.extend(lowers)
+        self._upper.extend(uppers)
+        return names
 
     def has_var(self, name: str) -> bool:
         return name in self._var_index
@@ -135,44 +275,88 @@ class LinearProgram:
             indexed[idx] = indexed.get(idx, 0.0) + c
         self._constraints.append(_Constraint(indexed, sense, float(rhs), label))
 
+    def add_constraint_block(
+        self,
+        data,
+        indices,
+        indptr,
+        sense: str,
+        rhs,
+        labels: Sequence[str],
+    ) -> None:
+        """Add a bank of same-sense rows as raw CSR fragments.
+
+        ``data``/``indices``/``indptr`` describe the rows exactly as a
+        ``csr_matrix`` would (``indptr`` has one more entry than rows);
+        ``indices`` are *column* indices into the current variable order
+        (``add_var`` / ``add_vars`` insertion order).  Rows compile in
+        place, interleaved with ordinary :meth:`add_constraint` rows in
+        call order, so a vectorized builder reproduces the historical
+        matrix bit-for-bit as long as it emits the same entries in the
+        same order.
+        """
+        if sense not in ("<=", ">=", "=="):
+            raise ValueError(f"bad sense {sense!r}")
+        data = np.ascontiguousarray(data, dtype=float)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        rhs = np.ascontiguousarray(rhs, dtype=float)
+        labels = tuple(str(lab) for lab in labels)
+        nrows = len(labels)
+        if indptr.shape != (nrows + 1,):
+            raise ValueError(
+                f"indptr has {indptr.size} entries for {nrows} rows"
+            )
+        if rhs.shape != (nrows,):
+            raise ValueError(f"rhs has {rhs.size} entries for {nrows} rows")
+        if indptr[0] != 0 or (np.diff(indptr) < 0).any():
+            raise ValueError("indptr must start at 0 and be nondecreasing")
+        nnz = int(indptr[-1])
+        if data.shape != (nnz,) or indices.shape != (nnz,):
+            raise ValueError(
+                f"data/indices must have indptr[-1] = {nnz} entries"
+            )
+        if nnz and (
+            int(indices.min()) < 0 or int(indices.max()) >= self.num_vars
+        ):
+            raise ValueError("column index out of range in constraint block")
+        self._constraints.append(
+            _ConstraintBlock(data, indices, indptr, sense, rhs, labels)
+        )
+
     # -- compilation --------------------------------------------------------
 
     def compile(self) -> dict:
         """Compile to the arrays SciPy's ``linprog`` expects."""
         n = self.num_vars
         c = np.asarray(self._objective, dtype=float)
-        rows_ub: list[tuple[dict[int, float], float]] = []
-        rows_eq: list[tuple[dict[int, float], float]] = []
+        acc_ub = _CsrAccumulator()
+        acc_eq = _CsrAccumulator()
         meta_ub: list[tuple[str, str]] = []  # (label, original sense)
         meta_eq: list[str] = []
         for con in self._constraints:
-            if con.sense == "<=":
-                rows_ub.append((con.coeffs, con.rhs))
+            if isinstance(con, _ConstraintBlock):
+                if con.sense == "<=":
+                    acc_ub.block(con, negate=False)
+                    meta_ub.extend((lab, "<=") for lab in con.labels)
+                elif con.sense == ">=":
+                    acc_ub.block(con, negate=True)
+                    meta_ub.extend((lab, ">=") for lab in con.labels)
+                else:
+                    acc_eq.block(con, negate=False)
+                    meta_eq.extend(con.labels)
+            elif con.sense == "<=":
+                acc_ub.row(con.coeffs, con.rhs, negate=False)
                 meta_ub.append((con.label, "<="))
             elif con.sense == ">=":
-                rows_ub.append(({i: -v for i, v in con.coeffs.items()}, -con.rhs))
+                acc_ub.row(con.coeffs, con.rhs, negate=True)
                 meta_ub.append((con.label, ">="))
             else:
-                rows_eq.append((con.coeffs, con.rhs))
+                acc_eq.row(con.coeffs, con.rhs, negate=False)
                 meta_eq.append(con.label)
 
-        def to_sparse(rows):
-            if not rows:
-                return None, None
-            data, indices, indptr, rhs = [], [], [0], []
-            for coeffs, b in rows:
-                for i, v in coeffs.items():
-                    indices.append(i)
-                    data.append(v)
-                indptr.append(len(indices))
-                rhs.append(b)
-            mat = csr_matrix(
-                (data, indices, indptr), shape=(len(rows), n), dtype=float
-            )
-            return mat, np.asarray(rhs, dtype=float)
-
-        a_ub, b_ub = to_sparse(rows_ub)
-        a_eq, b_eq = to_sparse(rows_eq)
+        a_ub, b_ub = acc_ub.build(n)
+        a_eq, b_eq = acc_eq.build(n)
         bounds = list(zip(self._lower, self._upper))
         return {
             "c": c,
@@ -258,10 +442,21 @@ class LinearProgram:
     def _solve_simplex(self, parts: dict | None = None) -> LPSolution:
         from repro.lp.simplex import SimplexSolver
 
+        # Function-level import: solver.cache imports LPSolution from
+        # this module, so the dependency must stay one-way at import time.
+        from repro.solver.cache import basis_cache, structural_fingerprint
+
         if parts is None:
             parts = self.compile()
         solver = SimplexSolver.from_compiled(parts)
-        x, value = solver.solve()
+        cache = basis_cache()
+        key = structural_fingerprint(self, parts)
+        warm = cache.get(key)
+        x, value = solver.solve(warm_basis=warm)
+        if warm is not None and not solver.warm_start_used:
+            cache.note_reject()
+        if solver.basis_ is not None:
+            cache.put(key, solver.basis_)
         values = {name: float(x[i]) for name, i in self._var_index.items()}
         duals: dict[str, float] = {}
         if parts["meta_ub"] and solver.marginals_ub is not None:
@@ -276,4 +471,10 @@ class LinearProgram:
         return tuple(self._var_index)
 
     def constraint_labels(self) -> Sequence[str]:
-        return tuple(c.label for c in self._constraints)
+        labels: list[str] = []
+        for con in self._constraints:
+            if isinstance(con, _ConstraintBlock):
+                labels.extend(con.labels)
+            else:
+                labels.append(con.label)
+        return tuple(labels)

@@ -52,6 +52,7 @@ def build_nested_lp(
     *,
     ceiling: bool = True,
     thresholds: OptThresholds | None = None,
+    vectorized: bool = True,
 ) -> tuple[LinearProgram, OptThresholds]:
     """Build LP (1) for a canonical instance.
 
@@ -62,6 +63,13 @@ def build_nested_lp(
         relaxation (used by the E10 ablation).
     thresholds:
         Precomputed ``OPT_i`` thresholds (computed on demand otherwise).
+    vectorized:
+        Assemble the constraint families as bulk CSR blocks
+        (:meth:`~repro.lp.backend.LinearProgram.add_constraint_block`)
+        instead of one coefficient dict per row.  Both paths compile to
+        the same model bit-for-bit (identical
+        :func:`~repro.solver.cache.model_fingerprint`); ``False`` keeps
+        the historical per-row reference build for cross-checks.
     """
     inst = canonical.instance
     forest = canonical.forest
@@ -69,7 +77,12 @@ def build_nested_lp(
     jobs_by_id = {j.id: j for j in inst.jobs}
     if thresholds is None:
         thresholds = compute_thresholds(forest, job_node, jobs_by_id, inst.g)
+    build = _build_vectorized if vectorized else _build_legacy
+    return build(inst, forest, job_node, thresholds, ceiling), thresholds
 
+
+def _build_legacy(inst, forest, job_node, thresholds, ceiling) -> LinearProgram:
+    """Historical per-row build — the reference the vectorized path must match."""
     lp = LinearProgram(name=f"nested_lp({inst.name})")
     for i in range(forest.m):
         lp.add_var(_xname(i), objective=1.0)
@@ -107,18 +120,166 @@ def build_nested_lp(
                 0.0,
                 label=f"spread[{i},{jid}]",
             )
-    # (7)-(8) ceiling constraints from OPT_i thresholds.
+    _add_ceiling_rows(lp, forest, thresholds, ceiling)
+    return lp
+
+
+def _add_ceiling_rows(lp, forest, thresholds, ceiling) -> None:
+    # (7)-(8) ceiling constraints from OPT_i thresholds.  Few rows (at
+    # most one per node) over descendant sets — not worth vectorizing.
+    if not ceiling:
+        return
+    for i in range(forest.m):
+        omega = thresholds.value(i)
+        if omega >= 2:
+            lp.add_constraint(
+                {_xname(k): 1.0 for k in forest.descendants(i)},
+                ">=",
+                float(omega),
+                label=f"ceiling[{i}]>={omega}",
+            )
+
+
+def _build_vectorized(
+    inst, forest, job_node, thresholds, ceiling
+) -> LinearProgram:
+    """Bulk-array build of LP (1).
+
+    Emits the same variables, rows and nonzeros in the same order as
+    :func:`_build_legacy` — the x columns come first, then the y columns
+    job-major; the volume family is one ``>=`` block; the interleaved
+    capacity/length/spread family is one ``<=`` block whose per-node
+    segment is laid out ``[capacity (nj y's + x), length, spread×nj]``.
+    """
+    m = forest.m
+    n_jobs = inst.n
+    g = float(inst.g)
+    lp = LinearProgram(name=f"nested_lp({inst.name})")
+    lp.add_vars([_xname(i) for i in range(m)], objective=1.0)
+    admissible = [forest.descendants(job_node[job.id]) for job in inst.jobs]
+    lp.add_vars(
+        [
+            _yname(i, job.id)
+            for job, nodes in zip(inst.jobs, admissible)
+            for i in nodes
+        ]
+    )
+    counts = np.fromiter(
+        (len(nodes) for nodes in admissible), dtype=np.int64, count=n_jobs
+    )
+    total_y = int(counts.sum())
+    y_cols = m + np.arange(total_y, dtype=np.int64)
+    node_of = np.fromiter(
+        (i for nodes in admissible for i in nodes),
+        dtype=np.int64,
+        count=total_y,
+    )
+    jid_of = np.repeat(
+        np.fromiter((job.id for job in inst.jobs), dtype=np.int64, count=n_jobs),
+        counts,
+    )
+
+    # (2) volume block: one >= row per job over its y columns (which are
+    # contiguous, in admissible-node order — exactly the legacy dicts).
+    if n_jobs:
+        lp.add_constraint_block(
+            np.ones(total_y),
+            y_cols,
+            np.concatenate(([0], np.cumsum(counts))),
+            ">=",
+            np.fromiter(
+                (job.processing for job in inst.jobs),
+                dtype=float,
+                count=n_jobs,
+            ),
+            [f"volume[{job.id}]" for job in inst.jobs],
+        )
+
+    # (3)-(5) one <= block, node-major.  Stable sort by node keeps the
+    # job-scan order within each node (the legacy per_node_jobs order).
+    if m:
+        order = np.argsort(node_of, kind="stable")
+        s_node = node_of[order]
+        s_ycol = y_cols[order]
+        s_jid = jid_of[order]
+        nj = np.bincount(node_of, minlength=m)
+        group_start = np.cumsum(nj) - nj
+        within = np.arange(total_y, dtype=np.int64) - group_start[s_node]
+        xcols = np.arange(m, dtype=np.int64)
+        lengths = np.fromiter(
+            (float(forest.length(i)) for i in range(m)), dtype=float, count=m
+        )
+
+        seg_nnz = 3 * nj + 2  # capacity nj+1, length 1, spread 2·nj
+        seg_start = np.cumsum(seg_nnz) - seg_nnz
+        nnz = int(seg_nnz.sum())
+        data = np.empty(nnz, dtype=float)
+        indices = np.empty(nnz, dtype=np.int64)
+        cap_y = seg_start[s_node] + within
+        data[cap_y] = 1.0
+        indices[cap_y] = s_ycol
+        cap_x = seg_start + nj
+        data[cap_x] = -g
+        indices[cap_x] = xcols
+        data[cap_x + 1] = 1.0  # length row
+        indices[cap_x + 1] = xcols
+        sp_y = seg_start[s_node] + nj[s_node] + 2 + 2 * within
+        data[sp_y] = 1.0
+        indices[sp_y] = s_ycol
+        data[sp_y + 1] = -1.0
+        indices[sp_y + 1] = s_node
+
+        rows_per_node = nj + 2
+        row_start = np.cumsum(rows_per_node) - rows_per_node
+        total_rows = int(rows_per_node.sum())
+        row_lens = np.full(total_rows, 2, dtype=np.int64)
+        row_lens[row_start] = nj + 1
+        row_lens[row_start + 1] = 1
+        rhs = np.zeros(total_rows)
+        rhs[row_start + 1] = lengths
+        labels: list[str] = []
+        nj_list = nj.tolist()
+        jid_list = s_jid.tolist()
+        ptr = 0
+        for i in range(m):
+            labels.append(f"capacity[{i}]")
+            labels.append(f"length[{i}]")
+            for jid in jid_list[ptr : ptr + nj_list[i]]:
+                labels.append(f"spread[{i},{jid}]")
+            ptr += nj_list[i]
+        lp.add_constraint_block(
+            data,
+            indices,
+            np.concatenate(([0], np.cumsum(row_lens))),
+            "<=",
+            rhs,
+            labels,
+        )
+
+    # (7)-(8) as one >= block over descendant x columns, same row and
+    # column order as the legacy dict loop.
     if ceiling:
-        for i in range(forest.m):
-            omega = thresholds.value(i)
-            if omega >= 2:
-                lp.add_constraint(
-                    {_xname(k): 1.0 for k in forest.descendants(i)},
-                    ">=",
-                    float(omega),
-                    label=f"ceiling[{i}]>={omega}",
-                )
-    return lp, thresholds
+        omegas = [thresholds.value(i) for i in range(m)]
+        sel = [i for i in range(m) if omegas[i] >= 2]
+        if sel:
+            desc = [forest.descendants(i) for i in sel]
+            lens = np.fromiter(
+                (len(d) for d in desc), dtype=np.int64, count=len(sel)
+            )
+            idx = np.fromiter(
+                (k for d in desc for k in d),
+                dtype=np.int64,
+                count=int(lens.sum()),
+            )
+            lp.add_constraint_block(
+                np.ones(idx.size),
+                idx,
+                np.concatenate(([0], np.cumsum(lens))),
+                ">=",
+                np.array([float(omegas[i]) for i in sel]),
+                [f"ceiling[{i}]>={omegas[i]}" for i in sel],
+            )
+    return lp
 
 
 def solve_nested_lp(

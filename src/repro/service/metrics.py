@@ -15,6 +15,7 @@ exact over a sliding window, O(1) memory forever.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 from typing import Any, Iterable, Mapping
@@ -27,11 +28,19 @@ QUANTILES = (0.5, 0.95, 0.99)
 
 
 def quantile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank quantile of an ascending-sorted non-empty list."""
+    """Nearest-rank quantile of an ascending-sorted non-empty list.
+
+    Uses the standard nearest-rank definition ``rank = ⌈q·n⌉`` (1-based).
+    An earlier version used ``round()``, whose banker's rounding pulled
+    every quantile that lands exactly on a ``.5`` rank boundary *down*
+    one observation — e.g. p95 of 30 observations returned the 28th
+    value instead of the 29th.
+    """
     if not sorted_values:
         raise ValueError("no observations")
-    rank = max(0, min(len(sorted_values) - 1, round(q * len(sorted_values)) - 1))
-    return sorted_values[rank]
+    n = len(sorted_values)
+    rank = math.ceil(q * n)  # 1-based nearest rank, half-up by ceiling
+    return sorted_values[min(n - 1, max(0, rank - 1))]
 
 
 class RequestStats:

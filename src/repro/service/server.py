@@ -73,6 +73,22 @@ class ServiceError(ReproError):
         self.status = status
 
 
+def _reject_bool(body: dict[str, Any], *names: str) -> None:
+    """Refuse ``true``/``false`` where a number is expected (422).
+
+    ``bool`` is a subclass of ``int`` in Python, so ``True`` sails
+    through ``isinstance(x, (int, float))`` guards and coerces to ``1``
+    downstream — a request with ``"deadline_ms": true`` would silently
+    run with a 1 ms deadline instead of being rejected.  That is a typed
+    client error, not a range error, hence 422 rather than 400.
+    """
+    for name in names:
+        if isinstance(body.get(name), bool):
+            raise ServiceError(
+                f"{name} must be a number, not a boolean", status=422
+            )
+
+
 class SchedulingService:
     """Request execution + shared state behind the HTTP handler.
 
@@ -132,18 +148,27 @@ class SchedulingService:
                 f"unknown algorithm {algorithm!r}; "
                 f"pick one of {list(SOLVE_ALGORITHMS)}"
             )
+        _reject_bool(body, "deadline_ms", "node_budget")
         deadline_ms = body.get("deadline_ms")
         if deadline_ms is not None and (
             not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
         ):
             raise ServiceError("deadline_ms must be a positive number")
+        node_budget = body.get("node_budget")
+        if node_budget is not None and (
+            not isinstance(node_budget, int) or node_budget < 1
+        ):
+            raise ServiceError("node_budget must be a positive integer")
+        split = body.get("split")
+        if split is not None and not isinstance(split, bool):
+            raise ServiceError("split must be a boolean")
         options = {
             "algorithm": algorithm,
             "backend": body.get("backend"),
             "deadline_ms": deadline_ms,
-            "node_budget": body.get("node_budget"),
+            "node_budget": node_budget,
         }
-        parts = self._split(instance, body.get("split"))
+        parts = self._split(instance, split)
         payloads = [(instance_to_dict(p), options) for p in parts]
         try:
             results = self._map("repro.service.workers:solve_part", payloads)
@@ -187,6 +212,7 @@ class SchedulingService:
 
     def verify(self, body: dict[str, Any]) -> dict[str, Any]:
         _parse_instance(body)  # validate before crossing the pool
+        _reject_bool(body, "exact_max_jobs")
         options = {
             "backend": body.get("backend"),
         }
@@ -201,6 +227,9 @@ class SchedulingService:
         return report
 
     def fuzz(self, body: dict[str, Any]) -> dict[str, Any]:
+        _reject_bool(
+            body, "n_instances", "seed", "max_jobs", "exact_max_jobs"
+        )
         n_instances = body.get("n_instances", 100)
         if not isinstance(n_instances, int) or n_instances < 1:
             raise ServiceError("n_instances must be a positive integer")

@@ -1,6 +1,14 @@
 """Solver service: caching, backend fallback, instrumentation for LP solves."""
 
-from repro.solver.cache import SolveCache, model_fingerprint
+from repro.solver.cache import (
+    BasisCache,
+    SolveCache,
+    basis_cache,
+    basis_cache_stats,
+    clear_basis_cache,
+    model_fingerprint,
+    structural_fingerprint,
+)
 from repro.solver.service import (
     BACKENDS,
     DEFAULT_CHAIN,
@@ -21,6 +29,11 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_CHAIN",
     "model_fingerprint",
+    "structural_fingerprint",
+    "BasisCache",
+    "basis_cache",
+    "basis_cache_stats",
+    "clear_basis_cache",
     "get_service",
     "set_service",
     "solve_lp",

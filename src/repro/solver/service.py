@@ -222,12 +222,26 @@ def solve_lp(lp: LinearProgram, backend: str | None = None) -> LPSolution:
 
 
 def solver_stats() -> dict:
-    """Snapshot of the default service's counters (plain dict)."""
-    return get_service().stats_snapshot()
+    """Snapshot of the default service's counters (plain dict).
+
+    Includes the process-wide simplex warm-start counters
+    (``simplex_warm_attempts`` / ``_hits`` / ``_rejects`` / ``_stores``
+    from :func:`repro.solver.cache.basis_cache_stats`) as flat keys, so
+    one snapshot covers both the solve cache and the basis cache.
+    """
+    from repro.solver.cache import basis_cache_stats
+
+    snap = get_service().stats_snapshot()
+    snap.update(basis_cache_stats())
+    return snap
 
 
 def reset_solver_stats() -> None:
+    """Reset service counters *and* the warm-start counters."""
+    from repro.solver.cache import basis_cache
+
     get_service().reset_stats()
+    basis_cache().reset_counters()
 
 
 def clear_solver_cache() -> None:

@@ -112,6 +112,16 @@ def render_solver_stats(snap: Mapping[str, Any]) -> str:
         ("cols solved", snap.get("cols", 0)),
         ("wall time [s]", f"{snap.get('wall_time', 0.0):.4f}"),
     ]
+    if snap.get("simplex_warm_attempts"):
+        hits = snap.get("simplex_warm_hits", 0)
+        rejects = snap.get("simplex_warm_rejects", 0)
+        scalar_rows.append(
+            (
+                "simplex warm starts",
+                f"{hits - rejects}/{snap['simplex_warm_attempts']} "
+                f"({rejects} rejected)",
+            )
+        )
     for name, per in sorted(snap.get("backends", {}).items()):
         scalar_rows.append(
             (

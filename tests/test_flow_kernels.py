@@ -1,0 +1,313 @@
+"""Cross-kernel and warm-start equivalence tests (PR 9 tentpole).
+
+Four contracts:
+
+* the ``csr`` and ``object`` max-flow kernels agree exactly — values,
+  per-edge flows, misuse guards — on random networks and on the real
+  feasibility reductions;
+* the vectorized LP builders compile bit-identically to the historical
+  per-row reference builds (same :func:`model_fingerprint`);
+* the warm-started simplex returns the same optimum as a cold solve and
+  records its hit-rate counters in ``solver_stats()``;
+* the misuse guards introduced in PR 4 survive the CSR migration with
+  the same typed errors and messages.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.flow.csr import (
+    DEFAULT_FLOW_KERNEL,
+    FLOW_KERNELS,
+    CSRMaxFlow,
+    flow_network,
+    get_flow_kernel,
+    set_flow_kernel,
+)
+from repro.flow.dinic import MaxFlow
+from repro.flow.feasibility import extract_schedule, slot_feasible
+from repro.instances.generators import (
+    deep_chain,
+    random_general,
+    random_laminar,
+)
+from repro.lp.backend import LinearProgram
+from repro.lp.cw_lp import build_cw_lp
+from repro.lp.nested_lp import build_nested_lp
+from repro.lp.simplex import SimplexSolver
+from repro.solver.cache import (
+    basis_cache,
+    clear_basis_cache,
+    model_fingerprint,
+    structural_fingerprint,
+)
+from repro.solver.service import (
+    clear_solver_cache,
+    reset_solver_stats,
+    solver_stats,
+)
+from repro.tree.canonical import canonicalize
+
+
+def random_network(seed: int, n: int = 12, n_edges: int = 30):
+    """The same random edge list, realised on both kernels."""
+    rng = random.Random(seed)
+    edges = []
+    for _ in range(n_edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v, rng.randint(0, 9)))
+    return edges
+
+
+class TestKernelSelector:
+    def test_default_is_csr(self):
+        assert DEFAULT_FLOW_KERNEL == "csr"
+        assert set(FLOW_KERNELS) == {"csr", "object"}
+
+    def test_set_and_restore(self):
+        prev = set_flow_kernel("object")
+        try:
+            assert get_flow_kernel() == "object"
+            assert isinstance(flow_network(2), MaxFlow)
+            assert not isinstance(flow_network(2), CSRMaxFlow)
+        finally:
+            set_flow_kernel(prev)
+        assert isinstance(flow_network(2, kernel="csr"), CSRMaxFlow)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            set_flow_kernel("gpu")
+        with pytest.raises(ValueError):
+            flow_network(2, kernel="gpu")
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_networks_agree(self, seed):
+        edges = random_network(seed)
+        obj, csr = MaxFlow(12), CSRMaxFlow(12)
+        ids_o = [obj.add_edge(u, v, c) for u, v, c in edges]
+        ids_c = csr.add_edges(*zip(*edges)) if edges else []
+        assert ids_o == ids_c
+        vo = obj.max_flow(0, 11)
+        vc = csr.max_flow(0, 11)
+        assert vo == vc
+        # re-augmenting a maximum flow adds nothing, on either kernel
+        assert obj.augment(0, 11) == 0
+        assert csr.augment(0, 11) == 0
+        # Edge decompositions of a max flow are not unique, but each
+        # kernel's flow must be a *valid* flow of the agreed value.
+        for net, ids, value in ((obj, ids_o, vo), (csr, ids_c, vc)):
+            balance = [0.0] * 12
+            for (u, v, c), f in zip(edges, net.flows(ids)):
+                assert -1e-9 <= f <= c + 1e-9
+                balance[u] -= f
+                balance[v] += f
+            for node in range(1, 11):
+                assert abs(balance[node]) < 1e-9
+            assert abs(balance[0] + value) < 1e-9
+            assert abs(balance[11] - value) < 1e-9
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_feasibility_agrees_across_kernels(self, seed):
+        inst = random_general(3 + seed, 1 + seed % 3, horizon=15, seed=seed)
+        slots = list(inst.slots())[:: 1 + seed % 2]
+        prev = set_flow_kernel("object")
+        try:
+            verdict_obj = slot_feasible(inst, slots)
+            sched_obj = extract_schedule(inst, slots)
+        finally:
+            set_flow_kernel(prev)
+        verdict_csr = slot_feasible(inst, slots)
+        sched_csr = extract_schedule(inst, slots)
+        assert verdict_obj == verdict_csr
+        assert (sched_obj is None) == (sched_csr is None)
+        if sched_obj is not None:
+            assert sched_obj.active_time == sched_csr.active_time
+
+
+class TestGuardParity:
+    """PR 4's misuse guards must behave identically on both kernels."""
+
+    @pytest.mark.parametrize("kernel", FLOW_KERNELS)
+    def test_second_max_flow_raises(self, kernel):
+        net = flow_network(3, kernel=kernel)
+        net.add_edge(0, 1, 2)
+        net.add_edge(1, 2, 2)
+        assert net.max_flow(0, 2) == 2
+        with pytest.raises(RuntimeError, match="already ran"):
+            net.max_flow(0, 2)
+        net.reset()
+        assert net.max_flow(0, 2) == 2
+
+    @pytest.mark.parametrize("kernel", FLOW_KERNELS)
+    def test_odd_edge_flow_rejected(self, kernel):
+        net = flow_network(3, kernel=kernel)
+        eid = net.add_edge(0, 1, 2)
+        net.max_flow(0, 1)
+        with pytest.raises(ValueError, match="reverse edge"):
+            net.edge_flow(eid + 1)
+        assert net.edge_flow(eid) == 2
+
+    @pytest.mark.parametrize("kernel", FLOW_KERNELS)
+    def test_negative_capacity_rejected(self, kernel):
+        net = flow_network(3, kernel=kernel)
+        with pytest.raises(ValueError, match="negative capacity"):
+            net.add_edge(0, 1, -1)
+        with pytest.raises(ValueError, match="negative capacity"):
+            net.add_edges([0, 1], [1, 2], [1, -4])
+
+    @pytest.mark.parametrize("kernel", FLOW_KERNELS)
+    def test_source_equals_sink_rejected(self, kernel):
+        net = flow_network(3, kernel=kernel)
+        with pytest.raises(ValueError, match="source equals sink"):
+            net.max_flow(1, 1)
+
+    def test_drop_edge_excluded_from_csr_solve(self):
+        net = CSRMaxFlow(4)
+        a = net.add_edge(0, 1, 5)
+        net.add_edge(1, 3, 5)
+        b = net.add_edge(0, 2, 5)
+        net.add_edge(2, 3, 5)
+        net.drop_edge(b)
+        assert net.max_flow(0, 3) == 5  # only the 0→1→3 path remains
+        assert net.edge_flow(a) == 5
+
+
+class TestVectorizedLPBuilds:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_nested_lp_fingerprint_identical(self, seed):
+        inst = random_laminar(
+            4 + 2 * seed, 1 + seed % 3, horizon=30 + 5 * seed, seed=seed
+        )
+        can = canonicalize(inst)
+        lp_vec, th = build_nested_lp(can, vectorized=True)
+        lp_ref, _ = build_nested_lp(can, thresholds=th, vectorized=False)
+        fp_vec = model_fingerprint(lp_vec, lp_vec.compile(), ("chain",))
+        fp_ref = model_fingerprint(lp_ref, lp_ref.compile(), ("chain",))
+        assert fp_vec == fp_ref
+        assert lp_vec.constraint_labels() == lp_ref.constraint_labels()
+        assert lp_vec.num_constraints == lp_ref.num_constraints
+
+    def test_nested_lp_fingerprint_identical_deep_chain(self):
+        can = canonicalize(deep_chain(25, 2, seed=3))
+        lp_vec, th = build_nested_lp(can, vectorized=True)
+        lp_ref, _ = build_nested_lp(can, thresholds=th, vectorized=False)
+        assert model_fingerprint(
+            lp_vec, lp_vec.compile(), ("chain",)
+        ) == model_fingerprint(lp_ref, lp_ref.compile(), ("chain",))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cw_lp_fingerprint_identical(self, seed):
+        inst = random_general(
+            3 + seed, 1 + seed % 2, horizon=10 + 3 * seed, seed=seed
+        )
+        lp_vec = build_cw_lp(inst, vectorized=True)
+        lp_ref = build_cw_lp(inst, vectorized=False)
+        assert model_fingerprint(
+            lp_vec, lp_vec.compile(), ("chain",)
+        ) == model_fingerprint(lp_ref, lp_ref.compile(), ("chain",))
+        assert lp_vec.constraint_labels() == lp_ref.constraint_labels()
+
+    def test_constraint_block_validation(self):
+        lp = LinearProgram("t")
+        lp.add_vars(["a", "b"])
+        with pytest.raises(ValueError, match="bad sense"):
+            lp.add_constraint_block(
+                np.ones(1), np.zeros(1, dtype=int), np.array([0, 1]), "<",
+                np.ones(1), ["r"],
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            lp.add_constraint_block(
+                np.ones(1), np.array([5]), np.array([0, 1]), "<=",
+                np.ones(1), ["r"],
+            )
+        with pytest.raises(ValueError, match="indptr"):
+            lp.add_constraint_block(
+                np.ones(1), np.zeros(1, dtype=int), np.array([0]), "<=",
+                np.ones(1), ["r"],
+            )
+
+    def test_add_vars_atomic_on_duplicates(self):
+        lp = LinearProgram("t")
+        lp.add_var("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            lp.add_vars(["b", "a"])
+        assert lp.num_vars == 1  # nothing was half-added
+        with pytest.raises(ValueError, match="duplicate"):
+            lp.add_vars(["c", "c"])
+        assert lp.num_vars == 1
+
+
+class TestWarmStartedSimplex:
+    def _model(self, c2=3.0):
+        lp = LinearProgram("warm")
+        lp.add_vars(["x", "y", "z"], objective=[1.0, 2.0, c2])
+        lp.add_constraint({"x": 1, "y": 1, "z": 1}, ">=", 4, "cover")
+        lp.add_constraint({"x": 1}, "<=", 2, "capx")
+        lp.add_constraint({"y": 1, "z": 2}, "<=", 6, "capyz")
+        return lp
+
+    def test_warm_solve_matches_cold_objective(self):
+        clear_basis_cache()
+        clear_solver_cache()
+        cold = self._model().solve(backend="simplex")
+        clear_solver_cache()
+        warm = self._model().solve(backend="simplex")
+        assert warm.value == cold.value
+        assert dict(warm.values) == dict(cold.values)
+        stats = solver_stats()
+        assert stats["simplex_warm_hits"] >= 1
+
+    def test_perturbed_objective_shares_structure(self):
+        clear_basis_cache()
+        clear_solver_cache()
+        base = self._model(c2=3.0)
+        pert = self._model(c2=2.5)
+        parts_b, parts_p = base.compile(), pert.compile()
+        assert structural_fingerprint(base, parts_b) == structural_fingerprint(
+            pert, parts_p
+        )
+        assert model_fingerprint(
+            base, parts_b, ("simplex",)
+        ) != model_fingerprint(pert, parts_p, ("simplex",))
+        base.solve(backend="simplex")
+        sol = pert.solve(backend="simplex")
+        ref = pert.solve(backend="highs")
+        assert sol.value == pytest.approx(ref.value, abs=1e-9)
+
+    def test_invalid_warm_basis_falls_back(self):
+        lp = self._model()
+        solver = SimplexSolver.from_compiled(lp.compile())
+        x, value = solver.solve(warm_basis=[0, 0, 0, 0, 0])
+        assert not solver.warm_start_used  # rejected, cold path ran
+        ref = lp.solve(backend="highs")
+        assert value == pytest.approx(ref.value, abs=1e-9)
+
+    def test_counters_reset(self):
+        clear_basis_cache()
+        clear_solver_cache()
+        self._model().solve(backend="simplex")
+        assert solver_stats()["simplex_warm_attempts"] >= 1
+        reset_solver_stats()
+        assert solver_stats()["simplex_warm_attempts"] == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_warm_agrees_on_nested_lp_battery(self, seed):
+        clear_basis_cache()
+        clear_solver_cache()
+        inst = random_laminar(5 + seed, 2, horizon=24, seed=seed)
+        can = canonicalize(inst)
+        lp, _ = build_nested_lp(can)
+        cold = lp.solve(backend="simplex")
+        clear_solver_cache()  # force a re-solve; basis cache survives
+        lp2, _ = build_nested_lp(can)
+        warm = lp2.solve(backend="simplex")
+        assert warm.value == cold.value
+        stats = solver_stats()
+        assert stats["simplex_warm_hits"] - stats["simplex_warm_rejects"] >= 1

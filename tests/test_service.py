@@ -271,6 +271,57 @@ class TestHttpContract:
         assert 'class="4xx"' in metrics
 
 
+class TestBooleanFieldRejection:
+    """``bool`` is an ``int`` subclass in Python, so ``"deadline_ms":
+    true`` used to sail through the numeric guards and run with a 1 ms
+    deadline.  Boolean-typed numerics are a 422 (typed client error)."""
+
+    @staticmethod
+    def _body(**extra):
+        body = {"instance": instance_to_dict(random_laminar(4, 2, seed=0))}
+        body.update(extra)
+        return body
+
+    @pytest.mark.parametrize("field", ["deadline_ms", "node_budget"])
+    @pytest.mark.parametrize("value", [True, False])
+    def test_solve_rejects_bool_numerics(self, client, field, value):
+        with pytest.raises(ClientError) as exc:
+            client._post_json("/solve", self._body(**{field: value}))
+        assert exc.value.status == 422
+
+    @pytest.mark.parametrize(
+        "field", ["n_instances", "seed", "max_jobs", "exact_max_jobs"]
+    )
+    def test_fuzz_rejects_bool_numerics(self, client, field):
+        with pytest.raises(ClientError) as exc:
+            client._post_json("/fuzz", {field: True})
+        assert exc.value.status == 422
+
+    def test_verify_rejects_bool_exact_max_jobs(self, client):
+        with pytest.raises(ClientError) as exc:
+            client._post_json(
+                "/verify", self._body(exact_max_jobs=False)
+            )
+        assert exc.value.status == 422
+
+    def test_split_must_be_boolean(self, client):
+        with pytest.raises(ClientError) as exc:
+            client._post_json("/solve", self._body(split="yes"))
+        assert exc.value.status == 400
+
+    def test_node_budget_must_be_positive_int(self, client):
+        for bad in (2.5, 0, -3):
+            with pytest.raises(ClientError) as exc:
+                client._post_json("/solve", self._body(node_budget=bad))
+            assert exc.value.status == 400
+
+    def test_bool_deadline_does_not_mask_range_check(self, client):
+        # deadline_ms=-5 keeps its historical 400 (range error).
+        with pytest.raises(ClientError) as exc:
+            client._post_json("/solve", self._body(deadline_ms=-5))
+        assert exc.value.status == 400
+
+
 class TestMetricsEndpoint:
     def test_exposes_request_solver_and_flow_counters(self, client):
         client.solve(random_laminar(6, 2, seed=9))
@@ -299,6 +350,18 @@ class TestMetricsEndpoint:
         assert quantile(values, 0.5) == 50.0
         assert quantile(values, 0.95) == 95.0
         assert quantile([3.0], 0.99) == 3.0
+
+    def test_quantile_half_rank_rounds_up(self):
+        # Regression: the old round()-based rank used banker's rounding,
+        # which pulled every quantile landing exactly on a .5 rank
+        # boundary DOWN one observation.  Nearest-rank is ⌈q·n⌉, so
+        # these must hit the higher of the two straddled values.
+        assert quantile([float(v) for v in range(1, 31)], 0.95) == 29.0
+        assert quantile([float(v) for v in range(1, 11)], 0.25) == 3.0
+        assert quantile([1.0, 2.0, 3.0, 4.0, 5.0], 0.5) == 3.0
+        # Non-boundary ranks are unchanged by the fix.
+        assert quantile([float(v) for v in range(1, 5)], 0.5) == 2.0
+        assert quantile([float(v) for v in range(1, 31)], 0.99) == 30.0
 
     def test_render_prometheus_shape(self):
         stats = RequestStats()
