@@ -1,0 +1,191 @@
+"""E20 — policy leaderboard and the learning-augmented guarantees.
+
+No paper table (the NP-completeness of the general problem motivates the
+heuristic/online policy space empirically).  Two measurements:
+
+* the registry-wide leaderboard: every registered policy over all
+  handcrafted families, the adversarial trap traces, and seeded
+  shared-release randoms, ranked by empirical ratio against the exact
+  optimum — with the property oracle re-checking every schedule;
+* the learning-augmented policy's two contract bounds on the laminar
+  slice of the suite: *consistency* (perfect advice reproduces the
+  optimum) and *robustness* (all-zero adversarial advice never lands
+  above the 9/5 certificate, because the policy keeps the cheaper of
+  the advised and advice-free schedules).
+
+Standalone: ``python benchmarks/bench_e20_policies.py [--smoke]
+[--seed S] [--json OUT]``.
+"""
+
+from __future__ import annotations
+
+import _bench_path  # noqa: F401
+import pytest
+
+from _bench_util import run_once
+from repro.analysis.tables import print_table
+from repro.baselines.exact import solve_exact
+from repro.benchkit import bench_main, register
+from repro.core.rounding import APPROX_FACTOR
+from repro.policies import (
+    leaderboard_suite,
+    make_policy,
+    run_leaderboard,
+)
+
+_LEADERBOARD_HEADERS = [
+    "rank", "policy", "kind", "mean ratio", "max ratio",
+    "optimal", "solved", "failed", "unsupported",
+]
+_ADVICE_HEADERS = [
+    "instance", "OPT", "perfect", "adversarial", "9/5*LP", "used(adv)",
+]
+
+#: Minimum policies the leaderboard must rank (acceptance criterion).
+_MIN_RANKED = 8
+
+
+def compute_leaderboard(smoke=False, seed_shift=0):
+    return run_leaderboard(smoke=smoke, seed=2022 + seed_shift)
+
+
+def compute_advice(smoke=False, seed_shift=0):
+    """Consistency/robustness rows for the advice policies.
+
+    Only laminar instances (the advice policies' support set); each row
+    carries the exact optimum, both advice policies' final costs, and
+    the 9/5 LP certificate the robust fallback guarantees.
+    """
+    rows = []
+    suite = leaderboard_suite(smoke=smoke, seed=2022 + seed_shift)
+    for inst in suite:
+        if not inst.is_laminar:
+            continue
+        opt = solve_exact(inst, node_budget=200_000).optimum
+        perfect = make_policy("advice-perfect").run(inst)
+        adversarial = make_policy("advice-adversarial").run(inst)
+        bound = APPROX_FACTOR * adversarial.stats["lp_value"]
+        rows.append(
+            [
+                inst.name or f"suite[{len(rows)}]",
+                opt,
+                perfect.active_time,
+                adversarial.active_time,
+                round(bound, 3),
+                adversarial.stats["used"],
+            ]
+        )
+    return rows
+
+
+def _leaderboard_rows(board):
+    out = []
+    for rank, row in enumerate(board.rows, start=1):
+        out.append(
+            [
+                rank,
+                row.policy,
+                row.kind,
+                None if row.mean_ratio is None else round(row.mean_ratio, 4),
+                None if row.max_ratio is None else round(row.max_ratio, 4),
+                row.optimal,
+                row.solved,
+                row.failed,
+                row.unsupported,
+            ]
+        )
+    return out
+
+
+@register(
+    "E20",
+    title="policy leaderboard + learning-augmented consistency/robustness",
+    claim="Extension: >= 8 registered policies ranked by empirical ratio "
+    "with every schedule oracle-valid; advice-augmented rounding is "
+    "1-consistent with perfect advice and 9/5-robust under adversarial "
+    "advice",
+)
+def run_bench(ctx):
+    board = compute_leaderboard(ctx.smoke, ctx.seed_shift)
+    advice = compute_advice(ctx.smoke, ctx.seed_shift)
+
+    ctx.add_table(
+        "leaderboard", _LEADERBOARD_HEADERS, _leaderboard_rows(board),
+        title="E20a: policy leaderboard (ratio vs exact optimum)",
+    )
+    ctx.add_table(
+        "advice", _ADVICE_HEADERS, advice,
+        title="E20b: advice-augmented consistency and robustness",
+    )
+
+    ranked = [r for r in board.rows if r.solved > 0]
+    ctx.add_metric("policies_registered", len(board.rows))
+    ctx.add_metric("policies_ranked", len(ranked))
+    ctx.add_metric("suite_instances", board.num_instances)
+    ctx.add_metric("leaderboard_defects", len(board.defects))
+    ctx.add_metric(
+        "total_optimal_hits", sum(r.optimal for r in board.rows)
+    )
+    # Integer-derived and therefore exactly reproducible: the summed
+    # costs behind the advice table, not the float ratios.
+    ctx.add_metric("advice_opt_total", sum(r[1] for r in advice))
+    ctx.add_metric("advice_perfect_total", sum(r[2] for r in advice))
+    ctx.add_metric("advice_adversarial_total", sum(r[3] for r in advice))
+
+    ctx.add_check("ranked_at_least_8", len(ranked) >= _MIN_RANKED)
+    ctx.add_check("all_schedules_oracle_valid", not board.defects)
+    ctx.add_check("optima_certified", board.opt_certified)
+    ctx.add_check(
+        "no_policy_beats_optimum",
+        all(
+            ratio >= 1.0 - 1e-9
+            for row in board.rows
+            for ratio in row.ratios
+        ),
+    )
+    ctx.add_check(
+        "advice_perfect_consistency",
+        all(row[2] <= row[1] + 1e-9 for row in advice),
+    )
+    ctx.add_check(
+        "advice_adversarial_robustness",
+        all(row[3] <= row[4] + 1e-6 for row in advice),
+    )
+
+
+@pytest.fixture(scope="module")
+def e20_board():
+    return compute_leaderboard(smoke=True)
+
+
+@pytest.fixture(scope="module")
+def e20_advice():
+    return compute_advice(smoke=True)
+
+
+def test_e20_leaderboard(e20_board, benchmark):
+    print_table(
+        _LEADERBOARD_HEADERS,
+        _leaderboard_rows(e20_board),
+        title="E20a: policy leaderboard (ratio vs exact optimum)",
+    )
+    assert not e20_board.defects
+    assert sum(1 for r in e20_board.rows if r.solved > 0) >= _MIN_RANKED
+    run_once(benchmark, compute_leaderboard, True)
+
+
+def test_e20_advice_bounds(e20_advice):
+    print_table(
+        _ADVICE_HEADERS,
+        e20_advice,
+        title="E20b: advice-augmented consistency and robustness",
+    )
+    assert e20_advice, "suite must contain laminar instances"
+    for _, opt, perfect, adversarial, bound, _used in e20_advice:
+        assert perfect <= opt + 1e-9, "consistency: perfect advice = OPT"
+        assert adversarial <= bound + 1e-6, "robustness: <= 9/5 * LP"
+        assert adversarial >= opt, "nothing beats the optimum"
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run_bench))

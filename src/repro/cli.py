@@ -12,6 +12,8 @@ Subcommands
                (corpus-backed, shardable ``--shard i/n``, resumable
                ``--resume``, shard-report merging ``--merge``)
 ``corpus``     persistent instance corpus: build / stat
+``policies``   policy registry: list / run one / competitive-ratio
+               leaderboard / corpus feasibility sweep
 ``twin``       rescheduling digital twin: record/replay event traces, fuzz
 ``serve``      long-running HTTP/JSON scheduling service (solve / verify /
                fuzz / healthz / metrics) over a process worker pool
@@ -371,6 +373,89 @@ def _cmd_twin_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_policies_list(args: argparse.Namespace) -> int:
+    from repro.policies import policy_specs
+
+    rows = [
+        [spec.name, spec.kind, spec.description]
+        for spec in policy_specs().values()
+    ]
+    print(render_table(["policy", "kind", "description"], rows))
+    return 0
+
+
+def _cmd_policies_run(args: argparse.Namespace) -> int:
+    from repro.policies import PolicyError, run_policy
+    from repro.util.errors import InfeasibleInstanceError
+
+    instance = load_instance(args.instance)
+    try:
+        result = run_policy(args.policy, instance)
+    except PolicyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except InfeasibleInstanceError as exc:
+        print(f"online-infeasible: {exc}", file=sys.stderr)
+        return 1
+    print(f"policy {result.policy} ({result.kind})")
+    print(f"active_time {result.active_time}")
+    for key, value in sorted(result.stats.items()):
+        print(f"{key} {value}")
+    if args.output:
+        dump_schedule(result.schedule, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_policies_leaderboard(args: argparse.Namespace) -> int:
+    from repro.policies import run_leaderboard
+
+    board = run_leaderboard(
+        smoke=args.smoke,
+        seed=args.seed,
+        policies=args.only.split(",") if args.only else None,
+    )
+    print(board.render())
+    if not board.opt_certified:
+        print("note: some optima are budget-limited upper bounds")
+    for defect in board.defects:
+        print(f"DEFECT: {defect}", file=sys.stderr)
+    return 1 if board.defects else 0
+
+
+def _cmd_policies_sweep(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.corpus.store import iter_corpus, parse_shard
+    from repro.policies import feasibility_sweep
+
+    shard = parse_shard(args.shard) if args.shard else None
+    instances = (
+        entry.instance()
+        for entry in iter_corpus(args.corpus, shard=shard, limit=args.limit)
+    )
+    report = feasibility_sweep(
+        instances,
+        policies=args.only.split(",") if args.only else None,
+    )
+    print(report.summary())
+    for violation in report.violations:
+        print(f"VIOLATION: {violation}", file=sys.stderr)
+    if args.report:
+        payload = {
+            "instances": report.instances,
+            "runs": report.runs,
+            "solved": report.solved,
+            "failed": report.failed,
+            "unsupported": report.unsupported,
+            "violations": report.violations,
+        }
+        with open(args.report, "w") as fh:
+            _json.dump(payload, fh, indent=2)
+        print(f"wrote {args.report}")
+    return 0 if report.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
@@ -622,6 +707,52 @@ def build_parser() -> argparse.ArgumentParser:
     tfuzz.add_argument("--g-max", type=int, default=4)
     tfuzz.add_argument("--report", help="write a JSON campaign report here")
     tfuzz.set_defaults(func=_cmd_twin_fuzz)
+
+    pol = sub.add_parser(
+        "policies",
+        help="policy registry: list / run / leaderboard / feasibility sweep",
+    )
+    pol_sub = pol.add_subparsers(dest="policies_command", required=True)
+
+    plist = pol_sub.add_parser("list", help="show all registered policies")
+    plist.set_defaults(func=_cmd_policies_list)
+
+    prun = pol_sub.add_parser(
+        "run", help="run one registered policy on a JSON instance"
+    )
+    prun.add_argument("policy", help="registered policy name")
+    prun.add_argument("instance", help="instance JSON file")
+    prun.add_argument("-o", "--output", help="write the schedule JSON here")
+    prun.set_defaults(func=_cmd_policies_run)
+
+    plead = pol_sub.add_parser(
+        "leaderboard",
+        help="rank all policies by empirical ratio vs the exact optimum",
+    )
+    plead.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small suite (the committed-baseline configuration)",
+    )
+    plead.add_argument("--seed", type=int, default=2022)
+    plead.add_argument(
+        "--only", help="comma-separated policy names (default: all)"
+    )
+    plead.set_defaults(func=_cmd_policies_leaderboard)
+
+    psweep = pol_sub.add_parser(
+        "sweep",
+        help="feasibility sweep: every policy on a corpus shard must "
+        "solve validly or fail with a typed error",
+    )
+    psweep.add_argument("--corpus", required=True, help="corpus directory")
+    psweep.add_argument("--shard", help="shard selector i/n")
+    psweep.add_argument("--limit", type=int, help="cap instances swept")
+    psweep.add_argument(
+        "--only", help="comma-separated policy names (default: all)"
+    )
+    psweep.add_argument("--report", help="write a JSON report here")
+    psweep.set_defaults(func=_cmd_policies_sweep)
 
     srv = sub.add_parser(
         "serve",

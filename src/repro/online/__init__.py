@@ -1,21 +1,33 @@
 """Online active-time scheduling (survey-adjacent extension)."""
 
 from repro.online.policies import (
+    DensestWindowActivation,
     EagerActivation,
+    EDFActivation,
+    GuardedSlotRule,
     LazyActivation,
+    LookaheadActivation,
     OnlinePolicy,
     OnlineRun,
+    ThresholdActivation,
     TwinLookahead,
     competitive_ratio,
     run_online,
+    safe_ratio,
 )
 
 __all__ = [
     "OnlinePolicy",
+    "GuardedSlotRule",
     "EagerActivation",
     "LazyActivation",
+    "EDFActivation",
+    "DensestWindowActivation",
+    "ThresholdActivation",
+    "LookaheadActivation",
     "TwinLookahead",
     "run_online",
     "OnlineRun",
     "competitive_ratio",
+    "safe_ratio",
 ]

@@ -43,11 +43,12 @@ failure rates of both policies on scattered-release instances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import ceil
 
 from repro.core.schedule import Schedule
 from repro.flow.dinic import MaxFlow
 from repro.instances.jobs import Instance
-from repro.util.errors import InfeasibleInstanceError
+from repro.util.errors import InfeasibleInstanceError, ZeroOptimumError
 
 
 @dataclass
@@ -104,49 +105,35 @@ class OnlinePolicy:
         raise NotImplementedError
 
 
-class EagerActivation(OnlinePolicy):
-    """Power every slot that has pending work.
+class GuardedSlotRule(OnlinePolicy):
+    """Template for feasibility-guarded slot-activation rules.
 
-    The batch is flow-guided: run whatever a max-flow schedule of the
-    pending work places at ``t``, padded with the most urgent remaining
-    jobs.  (A plain earliest-deadline batch is *not* feasibility-safe
-    with ``g > 1`` — it can run slack jobs while a pair of jobs that both
-    need a specific later slot starves; the flow batch cannot.)
+    A subclass answers one question — :meth:`want_power` — and inherits
+    the safe harness around it: the slot is skipped only when the rule
+    declines *and* the released work stays schedulable on the strictly
+    later slots (the lazy guard); a powered slot runs the max-flow batch
+    of the pending work padded with the most urgent other jobs (padding
+    is free — the slot is paid for and only removes future work); and an
+    unschedulable pending set raises
+    :class:`~repro.util.errors.InfeasibleInstanceError` instead of
+    emitting a broken schedule.  Every rule built on this base is
+    therefore exactly as feasibility-safe as :class:`LazyActivation`,
+    differing only in *how early* it pays for slots.
     """
 
-    name = "eager"
-
-    def decide(self, t, pending, future_slots, g):
-        runnable = [j for j in pending if j.remaining > 0]
-        if not runnable:
-            return None
-        later = [s for s in future_slots if s >= t]
-        here = _pending_schedule(runnable, later, g)
-        if here is None:
-            raise InfeasibleInstanceError(
-                f"pending work infeasible at slot {t} even if always on"
-            )
-        batch = [jid for jid, slots in here.items() if t in slots]
-        if len(batch) < g:
-            extras = sorted(
-                (j for j in runnable if j.id not in batch),
-                key=lambda j: (j.deadline, j.id),
-            )
-            batch.extend(j.id for j in extras[: g - len(batch)])
-        return batch
-
-
-class LazyActivation(OnlinePolicy):
-    """Skip unless pending work would become infeasible without slot ``t``."""
-
-    name = "lazy"
+    def want_power(self, t, runnable, later, g) -> bool:
+        """Does the rule want slot ``t`` powered?  (``later`` = slots > t.)"""
+        raise NotImplementedError
 
     def decide(self, t, pending, future_slots, g):
         runnable = [j for j in pending if j.remaining > 0]
         if not runnable:
             return None
         later = [s for s in future_slots if s > t]
-        if _pending_schedule(runnable, later, g) is not None:
+        if (
+            not self.want_power(t, runnable, later, g)
+            and _pending_schedule(runnable, later, g) is not None
+        ):
             return None  # safe to stay dark
         here = _pending_schedule(runnable, [t] + later, g)
         if here is None:
@@ -162,6 +149,122 @@ class LazyActivation(OnlinePolicy):
             )
             batch.extend(j.id for j in extras[: g - len(batch)])
         return batch
+
+
+class EagerActivation(GuardedSlotRule):
+    """Power every slot that has pending work.
+
+    The batch is flow-guided: run whatever a max-flow schedule of the
+    pending work places at ``t``, padded with the most urgent remaining
+    jobs.  (A plain earliest-deadline batch is *not* feasibility-safe
+    with ``g > 1`` — it can run slack jobs while a pair of jobs that both
+    need a specific later slot starves; the flow batch cannot.)
+    """
+
+    name = "eager"
+
+    def want_power(self, t, runnable, later, g):
+        return True
+
+
+class LazyActivation(GuardedSlotRule):
+    """Skip unless pending work would become infeasible without slot ``t``."""
+
+    name = "lazy"
+
+    def want_power(self, t, runnable, later, g):
+        return False
+
+
+class EDFActivation(GuardedSlotRule):
+    """Earliest-deadline-first urgency rule.
+
+    Powers slot ``t`` when the most urgent pending job is within
+    ``urgency`` slots of being forced (slack ``d_j - t - p_j^rem``), so
+    tight jobs are started a little before the lazy guard would fire.
+    ``urgency=0`` powers only truly forced jobs — per-job lazy without
+    the capacity-aware flow test the guard adds back.
+    """
+
+    name = "edf"
+
+    def __init__(self, urgency: int = 1) -> None:
+        if urgency < 0:
+            raise ValueError("urgency must be >= 0")
+        self.urgency = urgency
+
+    def want_power(self, t, runnable, later, g):
+        slack = min(j.deadline - t - j.remaining for j in runnable)
+        return slack <= self.urgency
+
+
+class DensestWindowActivation(GuardedSlotRule):
+    """Power while the pending work is dense in its remaining windows.
+
+    Density is pending volume over remaining usable capacity
+    (``g`` times the future slots before the last pending deadline);
+    the slot is powered once density reaches ``threshold``.  Dense
+    backlogs are drained immediately; sparse ones ride the lazy guard.
+    """
+
+    name = "densest"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = threshold
+
+    def want_power(self, t, runnable, later, g):
+        horizon_end = max(j.deadline for j in runnable)
+        usable = sum(1 for s in [t, *later] if s < horizon_end)
+        if usable == 0:
+            return True
+        volume = sum(j.remaining for j in runnable)
+        return volume >= self.threshold * g * usable
+
+
+class ThresholdActivation(GuardedSlotRule):
+    """Batch-filling rule: power once a ``fill``-fraction batch exists.
+
+    Powers slot ``t`` when the pending volume would fill at least
+    ``ceil(fill * g)`` units of the slot — the classic "wait for a full
+    batch" policy, made safe by the feasibility guard (a tight job still
+    forces a partial batch through).
+    """
+
+    name = "threshold"
+
+    def __init__(self, fill: float = 1.0) -> None:
+        if not 0.0 < fill <= 1.0:
+            raise ValueError("fill must be in (0, 1]")
+        self.fill = fill
+
+    def want_power(self, t, runnable, later, g):
+        volume = sum(j.remaining for j in runnable)
+        return volume >= max(1, ceil(self.fill * g))
+
+
+class LookaheadActivation(GuardedSlotRule):
+    """Lazy with a ``depth``-slot safety margin.
+
+    Powers slot ``t`` as soon as the released work could *not* survive
+    staying dark for the next ``depth`` slots (a max-flow test on the
+    slots ``>= t + depth``).  ``depth=1`` is exactly
+    :class:`LazyActivation`; larger depths pay for slots earlier and so
+    are less exposed to adversarial arrivals that punish deferral.
+    """
+
+    name = "lookahead"
+
+    def __init__(self, depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self.name = f"lookahead{depth}"
+
+    def want_power(self, t, runnable, later, g):
+        beyond = [s for s in later if s >= t + self.depth]
+        return _pending_schedule(runnable, beyond, g) is None
 
 
 class TwinLookahead(OnlinePolicy):
@@ -243,7 +346,20 @@ def run_online(instance: Instance, policy: OnlinePolicy) -> OnlineRun:
 
     Jobs become visible at their release slot; the produced schedule is
     validated independently before returning.
+
+    Stateful policies (``TwinLookahead``) are reset up front so the same
+    policy object can replay any number of instances deterministically,
+    and each ``decide`` call sees a *snapshot* of the pending set
+    (copy-on-advance) — a policy that mutates its view cannot corrupt
+    the harness's work ledger or the shared :class:`Instance`.
     """
+    reset = getattr(policy, "reset", None)
+    if callable(reset):
+        reset()
+    if instance.n == 0:
+        # Degenerate but legal: no arrivals, nothing to power.
+        schedule = Schedule.from_assignment(instance, {}).require_valid()
+        return OnlineRun(schedule=schedule, policy=policy.name, activations=[])
     horizon = instance.horizon
     jobs_by_release: dict[int, list[_PendingJob]] = {}
     for job in instance.jobs:
@@ -257,7 +373,11 @@ def run_online(instance: Instance, policy: OnlinePolicy) -> OnlineRun:
     for t in horizon.slots():
         pending.extend(jobs_by_release.get(t, []))
         pending = [j for j in pending if j.remaining > 0]
-        batch = policy.decide(t, pending, future, instance.g)
+        view = [
+            _PendingJob(id=j.id, deadline=j.deadline, remaining=j.remaining)
+            for j in pending
+        ]
+        batch = policy.decide(t, view, list(future), instance.g)
         if batch is None:
             continue
         by_id = {j.id: j for j in pending}
@@ -287,10 +407,30 @@ def run_online(instance: Instance, policy: OnlinePolicy) -> OnlineRun:
     return OnlineRun(schedule=schedule, policy=policy.name, activations=activations)
 
 
+def safe_ratio(cost: float, optimum: float) -> float:
+    """``cost / optimum`` with zero-cost optima handled explicitly.
+
+    A zero optimum arises on 0-job (or otherwise fully degenerate)
+    instances.  ``0 / 0`` is defined as ``1.0`` — an algorithm that
+    spends nothing on an instance worth nothing is exactly optimal —
+    while a positive cost against a zero optimum has no finite ratio and
+    raises :class:`~repro.util.errors.ZeroOptimumError` instead of
+    ``ZeroDivisionError`` (or, worse, silently clamping the denominator).
+    """
+    if optimum == 0:
+        if cost == 0:
+            return 1.0
+        raise ZeroOptimumError(
+            f"competitive ratio undefined: cost {cost} against a "
+            "zero-cost optimum"
+        )
+    return cost / optimum
+
+
 def competitive_ratio(instance: Instance, policy: OnlinePolicy) -> float:
     """Online cost over the offline optimum (exact solver)."""
     from repro.baselines.exact import solve_exact
 
     online = run_online(instance, policy).active_time
     opt = solve_exact(instance).optimum
-    return online / max(opt, 1)
+    return safe_ratio(online, opt)

@@ -1,0 +1,64 @@
+"""Registered scheduling policies behind one ``Policy.run`` contract.
+
+Importing this package populates the registry: offline baselines
+(:mod:`~repro.policies.offline`), online activation rules and the twin
+(:mod:`~repro.policies.online`), and the learning-augmented advice
+policies (:mod:`~repro.policies.advice`).  Use
+:func:`~repro.policies.registry.make_policy` /
+:func:`~repro.policies.registry.run_policy` to drive them by name, and
+:mod:`~repro.policies.leaderboard` to rank them empirically.
+"""
+
+from repro.policies.base import (
+    POLICY_KINDS,
+    Policy,
+    PolicyError,
+    PolicyResult,
+)
+from repro.policies.registry import (
+    PolicySpec,
+    make_policy,
+    policy_names,
+    policy_specs,
+    register_policy,
+    run_policy,
+)
+
+# Import for the registration side effects (each module's decorators
+# populate the registry the moment the package is imported).
+from repro.policies import advice as _advice  # noqa: F401,E402
+from repro.policies import offline as _offline  # noqa: F401,E402
+from repro.policies import online as _online  # noqa: F401,E402
+from repro.policies.advice import (
+    AdviceAugmentedPolicy,
+    adversarial_advice,
+    perfect_advice,
+)
+from repro.policies.leaderboard import (
+    Leaderboard,
+    SweepReport,
+    feasibility_sweep,
+    leaderboard_suite,
+    run_leaderboard,
+)
+
+__all__ = [
+    "POLICY_KINDS",
+    "Policy",
+    "PolicyError",
+    "PolicyResult",
+    "PolicySpec",
+    "register_policy",
+    "policy_specs",
+    "policy_names",
+    "make_policy",
+    "run_policy",
+    "AdviceAugmentedPolicy",
+    "perfect_advice",
+    "adversarial_advice",
+    "Leaderboard",
+    "SweepReport",
+    "leaderboard_suite",
+    "run_leaderboard",
+    "feasibility_sweep",
+]

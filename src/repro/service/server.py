@@ -3,7 +3,8 @@
 Endpoints (all JSON in the :mod:`repro.instances.io` format):
 
 * ``POST /solve``   — schedule an instance (``nested``/``greedy``/
-  ``kk``/``exact``); large instances are split into independent
+  ``kk``/``exact``, or any registered policy via ``"policy"`` in the
+  body / ``?policy=`` in the URL); large instances are split into independent
   sub-instances (:func:`repro.instances.transforms.split_independent`)
   and fanned out across the worker pool; ``deadline_ms`` maps onto the
   exact search's node budget and degrades to the incumbent
@@ -142,6 +143,8 @@ class SchedulingService:
 
     def solve(self, body: dict[str, Any]) -> dict[str, Any]:
         instance = _parse_instance(body)
+        if body.get("policy") is not None:
+            return self._solve_policy(instance, body)
         algorithm = body.get("algorithm", "nested")
         if algorithm not in SOLVE_ALGORITHMS:
             raise ServiceError(
@@ -209,6 +212,58 @@ class SchedulingService:
             if reasons:
                 response["degraded_reason"] = "; ".join(reasons)
         return response
+
+    def _solve_policy(
+        self, instance: Instance, body: dict[str, Any]
+    ) -> dict[str, Any]:
+        """``/solve`` with a registered policy instead of an algorithm.
+
+        Validation mirrors the existing contracts: a bool-typed name is
+        a *typed* client error (422, like ``_reject_bool``), an unknown
+        name is 404 carrying the known-policy list.  Policy runs never
+        split: an online policy's slot decisions are a function of the
+        whole arrival trace, so fan-out would change its semantics.
+        """
+        policy = body["policy"]
+        if isinstance(policy, bool) or not isinstance(policy, str):
+            raise ServiceError(
+                "policy must be a string name, not a boolean or number",
+                status=422,
+            )
+        if body.get("algorithm") is not None:
+            raise ServiceError('pass "algorithm" or "policy", not both')
+        from repro.policies import policy_names
+
+        known = policy_names()
+        if policy not in known:
+            raise ServiceError(
+                f"unknown policy {policy!r}; known policies: "
+                f"{', '.join(known)}",
+                status=404,
+            )
+        payload = (instance_to_dict(instance), {"policy": policy})
+        try:
+            results = self._map(
+                "repro.service.workers:solve_part", [payload]
+            )
+        except InfeasibleInstanceError as exc:
+            raise ServiceError(str(exc), status=422) from exc
+        result = results[0]
+        return {
+            "policy": policy,
+            "policy_kind": result["policy_kind"],
+            "active_time": result["active_time"],
+            "degraded": bool(result["degraded"]),
+            "parts": 1,
+            "stats": result["policy_stats"],
+            "schedule": {
+                "version": result["schedule"]["version"],
+                "instance": instance_to_dict(instance),
+                "assignment": result["schedule"]["assignment"],
+            },
+            "solver": _fold_deltas(results, "solver"),
+            "flow": _fold_deltas(results, "flow"),
+        }
 
     def verify(self, body: dict[str, Any]) -> dict[str, Any]:
         _parse_instance(body)  # validate before crossing the pool
@@ -404,15 +459,16 @@ class _Handler(BaseHTTPRequestHandler):
     # -- verbs ---------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        endpoint = self.path.split("?", 1)[0].lstrip("/") or "root"
+        path = self.path.split("?", 1)[0]
+        endpoint = path.lstrip("/") or "root"
         t0 = time.perf_counter()
         self.service.request_stats.enter()
         try:
-            if self.path == "/healthz":
+            if path == "/healthz":
                 self._send_json(
                     200, self.service.healthz(), endpoint="healthz", t0=t0
                 )
-            elif self.path == "/metrics":
+            elif path == "/metrics":
                 self.service.request_stats.record(
                     "metrics", 200, time.perf_counter() - t0
                 )
@@ -421,7 +477,7 @@ class _Handler(BaseHTTPRequestHandler):
                     self.service.metrics_text().encode("utf-8"),
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
-            elif self.path in ("/solve", "/verify", "/fuzz"):
+            elif path in ("/solve", "/verify", "/fuzz"):
                 self._send_json(
                     405, {"error": "use POST"}, endpoint=endpoint, t0=t0
                 )
@@ -436,7 +492,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.service.request_stats.exit()
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        endpoint = self.path.split("?", 1)[0].lstrip("/") or "root"
+        path, _, raw_query = self.path.partition("?")
+        endpoint = path.lstrip("/") or "root"
         t0 = time.perf_counter()
         self.service.request_stats.enter()
         try:
@@ -444,9 +501,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "/solve": self.service.solve,
                 "/verify": self.service.verify,
                 "/fuzz": self.service.fuzz,
-            }.get(self.path)
+            }.get(path)
             if handler is None:
-                if self.path in ("/healthz", "/metrics"):
+                if path in ("/healthz", "/metrics"):
                     self._send_json(
                         405, {"error": "use GET"}, endpoint=endpoint, t0=t0
                     )
@@ -459,7 +516,16 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 return
             try:
-                response = handler(self._read_body())
+                body = self._read_body()
+                # Query parameters are string-valued defaults — the JSON
+                # body wins on conflict (``/solve?policy=lazy`` is the
+                # supported spelling for string options like ``policy``).
+                if raw_query:
+                    from urllib.parse import parse_qs
+
+                    for key, values in parse_qs(raw_query).items():
+                        body.setdefault(key, values[-1])
+                response = handler(body)
             except ServiceError as exc:
                 self._send_json(
                     exc.status, {"error": str(exc)}, endpoint=endpoint, t0=t0

@@ -73,6 +73,21 @@ def _with_stat_deltas(fn):
 
 def _solve(doc: dict[str, Any], options: dict[str, Any]) -> dict[str, Any]:
     instance = instance_from_dict(doc)
+    policy = options.get("policy")
+    if policy is not None:
+        from repro.policies import run_policy
+
+        result = run_policy(policy, instance)
+        return {
+            "algorithm": policy,
+            "policy": policy,
+            "policy_kind": result.kind,
+            "policy_stats": result.stats,
+            "degraded": bool(result.stats.get("degraded")),
+            "part": instance.name,
+            "active_time": result.active_time,
+            "schedule": schedule_to_dict(result.schedule),
+        }
     algorithm = options.get("algorithm", "nested")
     out: dict[str, Any] = {
         "algorithm": algorithm,

@@ -35,6 +35,16 @@ class InfeasibleInstanceError(ReproError):
     """No schedule exists, even with every slot active."""
 
 
+class ZeroOptimumError(ReproError):
+    """A ratio against a zero-cost optimum is undefined.
+
+    Raised by :func:`repro.online.policies.safe_ratio` (and everything
+    built on it — competitive ratios, the policy leaderboard) when the
+    offline optimum is 0 while the candidate schedule has positive cost.
+    The ``0 / 0`` case is *not* an error: it is defined as ratio 1.0.
+    """
+
+
 class SolverError(ReproError):
     """An LP or flow solver failed to produce a usable solution.
 

@@ -39,14 +39,14 @@ from repro.benchkit.registry import default_benchmarks_dir
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-EXPECTED_IDS = [f"E{i}" for i in range(1, 20)]
+EXPECTED_IDS = [f"E{i}" for i in range(1, 21)]
 
 
 # ---------------------------------------------------------------- registry
 
 
 class TestRegistry:
-    def test_discovers_exactly_e1_to_e19(self):
+    def test_discovers_exactly_e1_to_e20(self):
         specs = discover()
         assert sorted(specs, key=lambda i: int(i[1:])) == EXPECTED_IDS
         for spec in specs.values():

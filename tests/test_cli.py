@@ -147,3 +147,54 @@ class TestTwin:
     def test_fuzz_smoke(self, capsys):
         assert main(["twin", "fuzz", "--n-traces", "2", "--events", "25"]) == 0
         assert "matched the from-scratch path" in capsys.readouterr().out
+
+
+class TestPoliciesCommand:
+    def test_list_prints_registry(self, capsys):
+        assert main(["policies", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nested", "lazy", "twin", "advice-perfect"):
+            assert name in out
+
+    def test_run_policy(self, inst_path, capsys):
+        assert main(["policies", "run", "greedy", inst_path]) == 0
+        out = capsys.readouterr().out
+        assert "policy greedy (offline)" in out
+        assert "active_time" in out
+
+    def test_run_writes_schedule(self, inst_path, tmp_path):
+        out = tmp_path / "sched.json"
+        assert main(
+            ["policies", "run", "lazy", inst_path, "-o", str(out)]
+        ) == 0
+        doc = json.loads(out.read_text())
+        assert "assignment" in doc
+
+    def test_run_unknown_policy_is_usage_error(self, inst_path, capsys):
+        assert main(["policies", "run", "nope", inst_path]) == 2
+        assert "known policies" in capsys.readouterr().err
+
+    def test_leaderboard_smoke_subset(self, capsys):
+        assert main(
+            ["policies", "leaderboard", "--smoke", "--only", "greedy,exact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Policy leaderboard" in out
+        assert "greedy" in out and "exact" in out
+
+    def test_sweep_on_corpus_shard(self, tmp_path, capsys):
+        from pathlib import Path
+
+        corpus = str(Path(__file__).resolve().parents[1] / "data" / "corpus_smoke")
+        report = tmp_path / "sweep.json"
+        assert main(
+            [
+                "policies", "sweep", "--corpus", corpus,
+                "--shard", "0/150", "--only", "greedy,lazy",
+                "--report", str(report),
+            ]
+        ) == 0
+        assert "policy feasibility sweep" in capsys.readouterr().out
+        doc = json.loads(report.read_text())
+        assert doc["violations"] == []
+        assert doc["runs"] == doc["instances"] * 2

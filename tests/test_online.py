@@ -206,3 +206,112 @@ class TestQuality:
         assert run.schedule.is_valid
         opt = solve_exact(inst).optimum
         assert run.active_time >= opt
+
+
+class TestSafeRatio:
+    """Regression: zero-cost optima used to hit ``online / max(opt, 1)``,
+    silently wrong when OPT = 0 with positive online cost."""
+
+    def test_zero_over_zero_is_one(self):
+        from repro.online import safe_ratio
+
+        assert safe_ratio(0, 0) == 1.0
+
+    def test_positive_over_zero_raises_typed_error(self):
+        from repro.online import safe_ratio
+        from repro.util.errors import ReproError, ZeroOptimumError
+
+        with pytest.raises(ZeroOptimumError):
+            safe_ratio(3, 0)
+        # Typed: catchable via the library base class, not ZeroDivisionError.
+        assert issubclass(ZeroOptimumError, ReproError)
+        assert not issubclass(ZeroOptimumError, ZeroDivisionError)
+
+    def test_ordinary_ratio_unchanged(self):
+        from repro.online import safe_ratio
+
+        assert safe_ratio(9, 5) == pytest.approx(1.8)
+
+    def test_competitive_ratio_on_zero_job_instance(self):
+        empty = Instance(jobs=(), g=1, name="empty")
+        assert competitive_ratio(empty, LazyActivation()) == 1.0
+
+    def test_run_online_zero_job_instance(self):
+        empty = Instance(jobs=(), g=2, name="empty")
+        run = run_online(empty, EagerActivation())
+        assert run.active_time == 0
+        assert run.activations == []
+
+
+class TestNewActivationRules:
+    def shared(self, seed):
+        inst = random_laminar(7, 2, horizon=15, seed=seed + 40)
+        return inst.with_jobs(
+            [j.with_window(0, j.deadline) for j in inst.jobs]
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lookahead_depth_one_equals_lazy(self, seed):
+        from repro.online import LookaheadActivation
+
+        inst = self.shared(seed)
+        lazy = run_online(inst, LazyActivation())
+        look = run_online(inst, LookaheadActivation(depth=1))
+        assert look.activations == lazy.activations
+        assert look.schedule.assignment == lazy.schedule.assignment
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rules_valid_and_never_beat_opt_on_shared_release(self, seed):
+        from repro.online import (
+            DensestWindowActivation,
+            EDFActivation,
+            LookaheadActivation,
+            ThresholdActivation,
+        )
+
+        inst = self.shared(seed)
+        opt = solve_exact(inst).optimum
+        for policy in (
+            EDFActivation(),
+            DensestWindowActivation(),
+            ThresholdActivation(),
+            LookaheadActivation(depth=2),
+        ):
+            run = run_online(inst, policy)
+            assert run.schedule.is_valid
+            assert opt <= run.active_time
+
+    def test_rule_parameter_validation(self):
+        from repro.online import (
+            DensestWindowActivation,
+            EDFActivation,
+            LookaheadActivation,
+            ThresholdActivation,
+        )
+
+        with pytest.raises(ValueError):
+            EDFActivation(urgency=-1)
+        with pytest.raises(ValueError):
+            DensestWindowActivation(threshold=0.0)
+        with pytest.raises(ValueError):
+            ThresholdActivation(fill=1.5)
+        with pytest.raises(ValueError):
+            LookaheadActivation(depth=0)
+
+    def test_decide_sees_snapshots_not_the_ledger(self):
+        """Copy-on-advance: a policy that zeroes its pending view must
+        not corrupt the harness's own remaining-work accounting."""
+
+        class Vandal(EagerActivation):
+            name = "vandal"
+
+            def want_power(self, t, runnable, later, g):
+                for job in runnable:
+                    job.remaining = 0
+                    job.deadline = t  # also try to wreck the windows
+                return True
+
+        inst = Instance.from_triples([(0, 4, 2), (0, 4, 2)], g=1)
+        run = run_online(inst, Vandal())
+        assert run.schedule.is_valid
+        assert run.active_time == 4

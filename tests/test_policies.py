@@ -1,0 +1,282 @@
+"""Tests for the policy registry, the advice model, and the leaderboard.
+
+The heart is the registry-wide feasibility sweep: every registered
+policy, on every instance family and every shipped trap trace, must
+either produce a schedule the independent property oracle accepts or
+fail with a *typed*, documented error — nothing in between.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.exact import solve_exact
+from repro.core.rounding import APPROX_FACTOR
+from repro.instances.families import ALL_FAMILIES
+from repro.instances.io import load_instance
+from repro.instances.jobs import Instance
+from repro.policies import (
+    AdviceAugmentedPolicy,
+    Policy,
+    PolicyError,
+    adversarial_advice,
+    feasibility_sweep,
+    leaderboard_suite,
+    make_policy,
+    perfect_advice,
+    policy_names,
+    policy_specs,
+    register_policy,
+    run_leaderboard,
+    run_policy,
+)
+from repro.policies.leaderboard import TRAP_FILES
+from repro.tree.canonical import canonicalize
+from repro.util.errors import InfeasibleInstanceError
+from repro.verify.properties import check_schedule
+
+DATA = Path(__file__).resolve().parents[1] / "data"
+
+#: Family instantiations small enough for the exact solver everywhere.
+FAMILY_INSTANCES = [
+    ("section5_gap", (2,)),
+    ("section5_gap", (3,)),
+    ("natural_gap", (2,)),
+    ("rigid_chain", (3,)),
+    ("batched_groups", (3, 2)),
+    ("greedy_trap", (2,)),
+    ("two_level", (2, 2)),
+]
+
+
+def family_instance(name: str, params: tuple) -> Instance:
+    return ALL_FAMILIES[name](*params)
+
+
+def trap_instances() -> list[Instance]:
+    return [
+        load_instance(DATA / fname)
+        for fname in TRAP_FILES
+        if (DATA / fname).is_file()
+    ]
+
+
+class TestRegistry:
+    def test_at_least_eight_policies_registered(self):
+        assert len(policy_names()) >= 8
+
+    def test_specs_cover_all_kinds(self):
+        kinds = {spec.kind for spec in policy_specs().values()}
+        assert kinds == {"offline", "online", "advice"}
+
+    def test_make_policy_unknown_name_lists_known(self):
+        with pytest.raises(PolicyError) as exc:
+            make_policy("definitely-not-registered")
+        message = str(exc.value)
+        assert "known policies" in message
+        assert "lazy" in message and "nested" in message
+
+    def test_make_policy_returns_fresh_instances(self):
+        assert make_policy("twin") is not make_policy("twin")
+
+    def test_duplicate_name_across_modules_rejected(self):
+        class Fake(Policy):
+            name = "lazy"
+
+        Fake.__module__ = "another.module"
+        with pytest.raises(PolicyError, match="duplicate policy"):
+            register_policy("lazy", kind="online")(Fake)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(PolicyError, match="kind"):
+            register_policy("whatever", kind="quantum")
+
+    def test_unsupported_instance_is_policy_error(self):
+        from repro.instances.generators import random_general
+
+        general = random_general(7, 2, seed=9)
+        assert not general.is_laminar
+        with pytest.raises(PolicyError, match="does not support"):
+            run_policy("nested", general)
+
+
+class TestFeasibilitySweep:
+    """Every policy x every family/trap: valid schedule or typed error."""
+
+    @pytest.mark.parametrize("family,params", FAMILY_INSTANCES)
+    def test_families(self, family, params):
+        inst = family_instance(family, params)
+        opt = solve_exact(inst).optimum
+        for name in policy_names():
+            try:
+                result = run_policy(name, inst)
+            except (PolicyError, InfeasibleInstanceError):
+                continue  # documented structural/online failure
+            assert check_schedule(result.schedule) == [], (
+                f"{name} produced an oracle-invalid schedule on {family}"
+            )
+            assert result.active_time >= opt, (
+                f"{name} beat the exact optimum on {family}"
+            )
+
+    @pytest.mark.parametrize(
+        "fname", [f for f in TRAP_FILES if (DATA / f).is_file()]
+    )
+    def test_trap_traces(self, fname):
+        inst = load_instance(DATA / fname)
+        opt = solve_exact(inst).optimum
+        for name in policy_names():
+            try:
+                result = run_policy(name, inst)
+            except (PolicyError, InfeasibleInstanceError):
+                continue
+            assert check_schedule(result.schedule) == []
+            assert result.active_time >= opt
+
+    def test_offline_baselines_never_beat_exact(self):
+        for family, params in FAMILY_INSTANCES:
+            inst = family_instance(family, params)
+            opt = solve_exact(inst).optimum
+            for name, spec in policy_specs().items():
+                if spec.kind != "offline":
+                    continue
+                try:
+                    result = run_policy(name, inst)
+                except PolicyError:
+                    continue
+                assert result.active_time >= opt
+
+    def test_zero_job_instance_costs_zero_everywhere(self):
+        empty = Instance(jobs=(), g=2, name="empty")
+        for name in policy_names():
+            result = run_policy(name, empty)
+            assert result.active_time == 0
+
+    def test_sweep_reports_clean_on_suite(self):
+        report = feasibility_sweep(leaderboard_suite(smoke=True)[:6])
+        assert report.ok, report.violations
+        assert report.solved > 0
+        assert report.runs == report.instances * len(policy_names())
+
+
+class TestTwinReplayDeterminism:
+    """Registry-contract audit: replaying the same trace twice through
+    the twin must give identical schedules (no shared-state leakage,
+    no mutation of the shared Instance between probes)."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_same_trace_twice_identical(self, seed):
+        from repro.instances.generators import random_laminar
+
+        inst = random_laminar(8, 2, horizon=16, seed=seed)
+        jobs_before = inst.jobs
+
+        def run_or_failure():
+            try:
+                return run_policy("twin", inst).schedule.assignment
+            except InfeasibleInstanceError as exc:
+                return ("infeasible", str(exc))
+
+        first = run_or_failure()
+        second = run_or_failure()
+        assert first == second
+        assert inst.jobs == jobs_before  # instance untouched
+
+    def test_shared_policy_object_is_reset_between_runs(self):
+        from repro.online import TwinLookahead, run_online
+
+        inst = family_instance("batched_groups", (3, 2))
+        policy = TwinLookahead()
+        a = run_online(inst, policy).schedule.assignment
+        b = run_online(inst, policy).schedule.assignment
+        assert a == b
+
+
+class TestAdvicePolicy:
+    def laminar_cases(self):
+        return [
+            family_instance(name, params)
+            for name, params in FAMILY_INSTANCES
+            if family_instance(name, params).is_laminar
+        ]
+
+    def test_perfect_advice_is_consistent(self):
+        for inst in self.laminar_cases():
+            opt = solve_exact(inst).optimum
+            result = run_policy("advice-perfect", inst)
+            assert result.active_time == opt
+
+    def test_adversarial_advice_is_robust(self):
+        for inst in self.laminar_cases():
+            result = run_policy("advice-adversarial", inst)
+            bound = APPROX_FACTOR * result.stats["lp_value"]
+            assert result.active_time <= bound + 1e-6
+            assert check_schedule(result.schedule) == []
+
+    def test_adversarial_advice_shape(self):
+        inst = family_instance("two_level", (2, 2))
+        canonical = canonicalize(inst)
+        advice = adversarial_advice(canonical)
+        assert set(advice) == set(range(canonical.forest.m))
+        assert all(v == 0 for v in advice.values())
+
+    def test_perfect_advice_counts_match_optimum(self):
+        inst = family_instance("section5_gap", (2,))
+        canonical = canonicalize(inst)
+        advice = perfect_advice(canonical)
+        assert sum(advice.values()) == solve_exact(inst).optimum
+
+    def test_malformed_advice_raises_policy_error(self):
+        inst = family_instance("greedy_trap", (2,))
+
+        bad_node = AdviceAugmentedPolicy(lambda c: {999: 1}, name="bad")
+        with pytest.raises(PolicyError, match="names node"):
+            bad_node.run(inst)
+
+        bad_count = AdviceAugmentedPolicy(lambda c: {0: True}, name="bad")
+        with pytest.raises(PolicyError, match="must be ints"):
+            bad_count.run(inst)
+
+    def test_overshooting_advice_is_clamped(self):
+        inst = family_instance("greedy_trap", (2,))
+        canonical = canonicalize(inst)
+        huge = {i: 10_000 for i in range(canonical.forest.m)}
+        policy = AdviceAugmentedPolicy(lambda c: huge, name="huge")
+        result = policy.run(inst)
+        assert check_schedule(result.schedule) == []
+
+
+class TestLeaderboard:
+    @pytest.fixture(scope="class")
+    def board(self):
+        return run_leaderboard(smoke=True)
+
+    def test_ranks_at_least_eight_policies(self, board):
+        assert sum(1 for r in board.rows if r.solved > 0) >= 8
+
+    def test_no_defects(self, board):
+        assert board.defects == []
+
+    def test_exact_tops_the_board(self, board):
+        assert board.rows[0].policy == "exact"
+        assert board.rows[0].mean_ratio == pytest.approx(1.0)
+
+    def test_every_ratio_at_least_one(self, board):
+        for row in board.rows:
+            for ratio in row.ratios:
+                assert ratio >= 1.0 - 1e-9
+
+    def test_render_mentions_every_policy(self, board):
+        text = board.render()
+        for name in policy_names():
+            assert name in text
+
+    def test_suite_covers_all_families_and_traps(self):
+        names = [i.name for i in leaderboard_suite(smoke=True)]
+        for family in ALL_FAMILIES:
+            assert any(family.split("_")[0] in n for n in names), family
+        for fname in TRAP_FILES:
+            if (DATA / fname).is_file():
+                assert fname.removesuffix(".json") in names

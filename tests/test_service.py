@@ -126,6 +126,82 @@ class TestSolveEndpoint:
         assert exc.value.status == 422
 
 
+class TestPolicySolve:
+    """``/solve`` with a registered policy (body field or query param)."""
+
+    def test_policy_in_body(self, client):
+        instance = random_laminar(6, 2, seed=3)
+        served = client.solve(instance, policy="greedy")
+        assert served["policy"] == "greedy"
+        assert served["policy_kind"] == "offline"
+        assert served["parts"] == 1
+        schedule = schedule_from_dict(served["schedule"])
+        assert schedule.is_valid
+
+    def test_policy_as_query_param(self, client):
+        instance = random_laminar(6, 2, seed=3)
+        body = {"instance": instance_to_dict(instance)}
+        served = client._post_json("/solve?policy=lazy", body)
+        assert served["policy"] == "lazy"
+        assert served["policy_kind"] == "online"
+        assert schedule_from_dict(served["schedule"]).is_valid
+
+    def test_body_wins_over_query_param(self, client):
+        instance = random_laminar(6, 2, seed=3)
+        body = {"instance": instance_to_dict(instance), "policy": "greedy"}
+        served = client._post_json("/solve?policy=lazy", body)
+        assert served["policy"] == "greedy"
+
+    def test_policy_matches_direct_run(self, client):
+        from repro.policies import run_policy
+
+        instance = random_laminar(6, 2, seed=3)
+        served = client.solve(instance, policy="eager")
+        direct = run_policy("eager", instance)
+        assert served["active_time"] == direct.active_time
+        assert served["stats"]["activations"] == direct.stats["activations"]
+
+    def test_unknown_policy_is_404_with_known_list(self, client):
+        """Regression: unknown names used to surface as a raw KeyError
+        500; the contract is 404 carrying the registered-policy list."""
+        with pytest.raises(ClientError) as exc:
+            client.solve(random_laminar(4, 2, seed=0), policy="magic")
+        assert exc.value.status == 404
+        assert "known policies" in str(exc.value)
+        assert "lazy" in str(exc.value)
+
+    def test_bool_policy_is_422(self, client):
+        # Mirrors the boolean-field contract on the numeric options.
+        with pytest.raises(ClientError) as exc:
+            client.solve(random_laminar(4, 2, seed=0), policy=True)
+        assert exc.value.status == 422
+
+    def test_policy_plus_algorithm_is_400(self, client):
+        with pytest.raises(ClientError) as exc:
+            client.solve(
+                random_laminar(4, 2, seed=0),
+                policy="lazy",
+                algorithm="nested",
+            )
+        assert exc.value.status == 400
+
+    def test_online_infeasible_trace_is_422(self, client):
+        # The documented deferral trap: offline-feasible, online-fatal.
+        trap = Instance.from_triples([(0, 10, 1), (8, 10, 2)], g=1)
+        with pytest.raises(ClientError) as exc:
+            client.solve(trap, policy="lazy")
+        assert exc.value.status == 422
+
+    def test_unsupported_instance_is_422(self, client):
+        instance = random_general(8, 2, seed=3)
+        if instance.is_laminar:  # pragma: no cover - seed guard
+            pytest.skip("seed produced a laminar instance")
+        with pytest.raises(ClientError) as exc:
+            client.solve(instance, policy="nested")
+        assert exc.value.status == 422
+        assert "does not support" in str(exc.value)
+
+
 class TestDeadlineDegradation:
     def test_tight_deadline_returns_incumbent_not_hang(self, client):
         """The satellite contract: a slow adversarial instance under a
